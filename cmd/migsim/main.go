@@ -1,0 +1,141 @@
+// Command migsim runs one simulated MPI job under the migration framework
+// and prints a phase-decomposed report.
+//
+// Examples:
+//
+//	migsim -app LU -class C -np 64 -ppn 8                 # the paper's setup
+//	migsim -app BT -class W -np 16 -ppn 2 -restart memory # future-work mode
+//	migsim -app LU -class W -np 16 -ppn 2 -transport socket
+//	migsim -app SP -class C -np 64 -ppn 8 -strategy cr-pvfs
+//	migsim -app LU -class S -np 8 -ppn 2 -trace           # watch the protocol
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ibmig/internal/cluster"
+	"ibmig/internal/core"
+	"ibmig/internal/cr"
+	"ibmig/internal/metrics"
+	"ibmig/internal/npb"
+	"ibmig/internal/sim"
+)
+
+func main() {
+	app := flag.String("app", "LU", "application: LU, BT or SP")
+	class := flag.String("class", "W", "NPB class: S, W, A, B or C")
+	np := flag.Int("np", 16, "number of MPI processes")
+	ppn := flag.Int("ppn", 2, "processes per node")
+	strategy := flag.String("strategy", "migrate", "fault handling: migrate, cr-ext3 or cr-pvfs")
+	restartMode := flag.String("restart", "file", "migration restart mode: file, memory or pipelined")
+	transport := flag.String("transport", "rdma", "migration transport: rdma or socket")
+	poolMB := flag.Int64("pool", 10, "buffer pool size (MB)")
+	chunkKB := flag.Int64("chunk", 1024, "chunk size (KB)")
+	triggerFrac := flag.Float64("trigger", 0.33, "trigger point as a fraction of estimated runtime")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verify := flag.Bool("verify", false, "checksum images end to end (slower)")
+	trace := flag.Bool("trace", false, "stream framework trace events")
+	timeline := flag.Bool("timeline", false, "print the migration's event timeline (the paper's Fig. 2 sequence)")
+	flag.Parse()
+
+	w := npb.New(npb.Kernel(*app), npb.Class((*class)[0]), *np)
+	if *np%*ppn != 0 {
+		fmt.Fprintln(os.Stderr, "np must be a multiple of ppn")
+		os.Exit(2)
+	}
+	opts := core.Options{
+		BufferPoolBytes: *poolMB << 20,
+		ChunkBytes:      *chunkKB << 10,
+		Hash:            *verify,
+	}
+	switch *restartMode {
+	case "memory":
+		opts.RestartMode = core.RestartMemory
+	case "pipelined":
+		opts.RestartMode = core.RestartPipelined
+	}
+	if *transport == "socket" {
+		opts.Transport = core.TransportSocket
+	}
+
+	e := sim.NewEngine(*seed)
+	var recorder *sim.Recorder
+	isFrameworkEvent := func(kind string) bool {
+		switch kind {
+		case "core.jm", "core.nla", "ftb.publish", "health.predict", "blcr.checkpoint", "blcr.restart":
+			return true
+		}
+		return false
+	}
+	switch {
+	case *trace:
+		e.SetTracer(&sim.Writer{W: os.Stderr, Filter: isFrameworkEvent})
+	case *timeline:
+		recorder = &sim.Recorder{}
+		e.SetTracer(recorder)
+	}
+	c := cluster.New(e, cluster.Config{
+		ComputeNodes: *np / *ppn,
+		SpareNodes:   1,
+		PVFSServers:  4,
+	})
+	res := npb.NewResult(w.Ranks)
+	fw := core.Launch(c, w, *ppn, res, opts)
+
+	fmt.Printf("%s: %d ranks on %d nodes (%d/node), est. runtime %.1fs, image %s MB/rank\n",
+		w.Name(), w.Ranks, *np / *ppn, *ppn, w.EstimatedRuntime().Seconds(), metrics.MB(w.PerRankImage))
+
+	var report *metrics.Report
+	var appDur sim.Duration
+	e.Spawn("migsim", func(p *sim.Proc) {
+		fw.W.WaitReady(p)
+		start := p.Now()
+		p.Sleep(sim.Duration(float64(w.EstimatedRuntime()) * *triggerFrac))
+		src := c.Compute[len(c.Compute)/2].Name
+		switch *strategy {
+		case "migrate":
+			fmt.Printf("triggering migration of %s at t=%.1fs\n", src, p.Now().Seconds())
+			fw.TriggerMigration(p, src).Wait(p)
+			if len(fw.Reports) > 0 {
+				report = fw.Reports[len(fw.Reports)-1]
+			}
+		case "cr-ext3":
+			report = cr.NewRunner(c, fw.W, cr.Ext3, *verify).FullCycle(p)
+		case "cr-pvfs":
+			report = cr.NewRunner(c, fw.W, cr.PVFS, *verify).FullCycle(p)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+			os.Exit(2)
+		}
+		fw.W.WaitDone(p)
+		appDur = p.Now().Sub(start)
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+	e.Shutdown()
+
+	if report == nil {
+		fmt.Println("no fault-tolerance action completed")
+		os.Exit(1)
+	}
+	if recorder != nil {
+		fmt.Println("\nMigration timeline (paper Fig. 2):")
+		for _, rec := range recorder.Records {
+			if isFrameworkEvent(rec.Kind) {
+				fmt.Printf("  %11.3fms  %-16s %-22s %s\n", rec.T.Milliseconds(), rec.Kind, rec.Who, rec.Detail)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println(report)
+	fmt.Printf("application ran %.2fs end to end (overhead vs estimate: %.1f%%)\n",
+		appDur.Seconds(), (appDur.Seconds()/w.EstimatedRuntime().Seconds()-1)*100)
+	if *verify {
+		fmt.Println("image verification: enabled (restart would have failed on any corruption)")
+	}
+}

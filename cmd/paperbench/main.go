@@ -1,0 +1,103 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	fig4     process migration overhead, decomposed into four phases
+//	fig5     application execution time with/without one migration
+//	fig6     migration scalability vs processes per node (LU)
+//	fig7     job migration vs Checkpoint/Restart (ext3, PVFS), with speedups
+//	table1   amount of data movement (MB)
+//	pool     ablation: buffer pool / chunk sizing (paper section IV-A, text)
+//	restart  ablation: file-based vs memory-based restart (paper future work)
+//	socket   ablation: RDMA pull vs socket staging (paper section III-B)
+//	interval checkpoint-interval study: how proactive migration prolongs the
+//	         interval between job-wide checkpoints (paper section VI)
+//
+// Usage:
+//
+//	paperbench [-exp all|fig4|fig5|fig6|fig7|table1|pool|restart|socket]
+//	           [-scale paper|quick] [-seed N]
+//
+// At -scale paper the configuration matches the testbed: NPB class C, 64
+// processes on 8 compute nodes plus one spare (Fig. 5 runs each application
+// to completion and takes the longest).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ibmig/internal/core"
+	"ibmig/internal/exp"
+	"ibmig/internal/npb"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval")
+	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sc := exp.PaperScale
+	if *scaleName == "quick" {
+		sc = exp.QuickScale
+	} else if *scaleName != "paper" {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	run := func(name string, fn func()) {
+		if *which != "all" && *which != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s completed in %.1fs wall]\n\n", name, time.Since(start).Seconds())
+	}
+
+	fmt.Printf("Scale: class %c, %d ranks, %d per node, seed %d\n\n", sc.Class, sc.Ranks, sc.PPN, sc.Seed)
+
+	var fig7Groups []exp.Fig7Group
+	run("fig4", func() {
+		fmt.Println(exp.FormatPhaseRows("Fig. 4 — Process Migration Overhead", exp.Fig4(sc)))
+	})
+	run("fig5", func() {
+		fmt.Println(exp.FormatFig5(exp.Fig5(sc)))
+	})
+	run("fig6", func() {
+		fmt.Println(exp.FormatPhaseRows(
+			fmt.Sprintf("Fig. 6 — Scalability of Job Migration (LU.%c, %d nodes)", sc.Class, sc.Ranks/sc.PPN),
+			exp.Fig6(sc)))
+	})
+	run("fig7", func() {
+		fig7Groups = exp.Fig7(sc)
+		fmt.Println(exp.FormatFig7(fig7Groups))
+	})
+	run("table1", func() {
+		if fig7Groups == nil {
+			fig7Groups = exp.Fig7(sc)
+		}
+		fmt.Println(exp.FormatTable1(exp.Table1(fig7Groups)))
+	})
+	run("pool", func() {
+		fmt.Println(exp.FormatPool(exp.AblationPool(sc)))
+	})
+	run("restart", func() {
+		fmt.Println(exp.FormatPhaseRows("Ablation — file-based vs memory-based restart", exp.AblationRestartMode(sc)))
+	})
+	run("socket", func() {
+		fmt.Println(exp.FormatPhaseRows("Ablation — RDMA pull vs socket staging (LU)", exp.AblationTransport(sc)))
+	})
+	run("aggregate", func() {
+		fmt.Println(exp.FormatAggregation(exp.AblationAggregation(sc)))
+	})
+	run("interference", func() {
+		fmt.Println(exp.FormatInterference(exp.AblationInterference(sc)))
+	})
+	run("interval", func() {
+		mig, _, pvfs, _ := exp.RunComparison(npb.LU, sc, core.Options{})
+		fmt.Println(exp.FormatInterval(exp.IntervalStudy(mig, pvfs)))
+	})
+}

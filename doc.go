@@ -1,0 +1,20 @@
+// Package ibmig is a full reproduction of "RDMA-Based Job Migration
+// Framework for MPI over InfiniBand" (Ouyang, Marcarelli, Rajachandrasekar,
+// Panda — IEEE CLUSTER 2010) as a deterministic discrete-event simulation.
+//
+// The public entry points live in the executables (cmd/migsim,
+// cmd/paperbench, cmd/ftbmon) and the examples; the library packages under
+// internal/ are organized bottom-up:
+//
+//	sim      discrete-event kernel          payload  symbolic byte-accurate data
+//	ib       InfiniBand verbs fabric        gige     GigE + IPoIB socket networks
+//	ftb      Fault Tolerance Backplane      vfs      disks, ext3-like FS, PVFS
+//	proc     process address spaces         blcr     checkpoint/restart library
+//	mpi      mini-MPI runtime + CR protocol npb      LU/BT/SP workloads
+//	core     the Job Migration Framework    cr       Checkpoint/Restart baseline
+//	cluster  testbed composition            health   IPMI sensors + predictor
+//	exp      experiment harness             metrics  phase reports and tables
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for paper-vs-measured numbers.
+package ibmig

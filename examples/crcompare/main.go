@@ -1,0 +1,72 @@
+// CR comparison: against one live job, run (a) a proactive migration, (b) a
+// full Checkpoint/Restart cycle to node-local ext3, and (c) a full cycle to
+// PVFS — the three stacks of the paper's Fig. 7 — and print the
+// phase-decomposed comparison and the Table I data volumes.
+//
+// Run with:
+//
+//	go run ./examples/crcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibmig/internal/cluster"
+	"ibmig/internal/core"
+	"ibmig/internal/cr"
+	"ibmig/internal/metrics"
+	"ibmig/internal/npb"
+	"ibmig/internal/sim"
+)
+
+func main() {
+	engine := sim.NewEngine(3)
+	c := cluster.New(engine, cluster.Config{ComputeNodes: 8, SpareNodes: 1, PVFSServers: 4})
+
+	workload := npb.New(npb.LU, npb.ClassW, 16)
+	result := npb.NewResult(workload.Ranks)
+	fw := core.Launch(c, workload, 2, result, core.Options{Hash: true})
+
+	var migration, crExt3, crPVFS *metrics.Report
+	engine.Spawn("driver", func(p *sim.Proc) {
+		fw.W.WaitReady(p)
+		p.Sleep(sim.Duration(workload.EstimatedRuntime() / 4))
+
+		fw.TriggerMigration(p, "node04").Wait(p)
+		migration = fw.Reports[0]
+
+		crExt3 = cr.NewRunner(c, fw.W, cr.Ext3, true).FullCycle(p)
+		crPVFS = cr.NewRunner(c, fw.W, cr.PVFS, true).FullCycle(p)
+
+		fw.W.WaitDone(p)
+		engine.Stop()
+	})
+	if err := engine.Run(); err != nil {
+		log.Fatal(err)
+	}
+	engine.Shutdown()
+
+	row := func(label string, r *metrics.Report) []string {
+		return []string{
+			label,
+			metrics.Seconds(r.Phase(metrics.PhaseStall)),
+			metrics.Seconds(r.Phase(metrics.PhaseMigrate) + r.Phase(metrics.PhaseCkpt)),
+			metrics.Seconds(r.Phase(metrics.PhaseRestart)),
+			metrics.Seconds(r.Phase(metrics.PhaseResume)),
+			metrics.Seconds(r.Total()),
+			metrics.MB(r.BytesMoved),
+		}
+	}
+	fmt.Printf("Handling one node failure for %s:\n\n", workload.Name())
+	fmt.Println(metrics.Table(
+		[]string{"strategy", "stall(s)", "ckpt/mig(s)", "restart(s)", "resume(s)", "total(s)", "moved(MB)"},
+		[][]string{row("Job Migration", migration), row("CR(ext3)", crExt3), row("CR(PVFS)", crPVFS)},
+	))
+	fmt.Printf("\nmigration speedup: %.2fx vs CR(ext3), %.2fx vs CR(PVFS)\n",
+		crExt3.Total().Seconds()/migration.Total().Seconds(),
+		crPVFS.Total().Seconds()/migration.Total().Seconds())
+	fmt.Printf("data moved: migration %s MB vs CR %s MB (%.1fx less)\n",
+		metrics.MB(migration.BytesMoved), metrics.MB(crPVFS.BytesMoved),
+		float64(crPVFS.BytesMoved)/float64(migration.BytesMoved))
+}

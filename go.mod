@@ -1,0 +1,3 @@
+module ibmig
+
+go 1.22

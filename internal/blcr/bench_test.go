@@ -1,0 +1,67 @@
+package blcr
+
+import (
+	"fmt"
+	"testing"
+
+	"ibmig/internal/proc"
+	"ibmig/internal/sim"
+)
+
+// BenchmarkCheckpointRestartRoundTrip measures a full in-memory round trip
+// of a 32 MB process image (without content hashing, as the timing paths do).
+func BenchmarkCheckpointRestartRoundTrip(b *testing.B) {
+	e := sim.NewEngine(1)
+	src := proc.NewTable("a")
+	pr := src.Spawn("app", 0, []proc.SegmentSpec{
+		{Name: "text", VAddr: 0x400000, Size: 2 << 20, Seed: 1},
+		{Name: "heap", VAddr: 0x20000000, Size: 30 << 20, Seed: 2},
+	})
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sink := &BufferSink{}
+			if _, err := Checkpoint(p, pr, nil, sink, Options{}); err != nil {
+				b.Error(err)
+				return
+			}
+			dst := proc.NewTable(fmt.Sprintf("b%d", i))
+			if _, err := Restart(p, &BufferSource{Buf: sink.Buf}, dst, RestartOptions{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.SetBytes(32 << 20)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCheckpointVerified includes end-to-end content hashing.
+func BenchmarkCheckpointVerified(b *testing.B) {
+	e := sim.NewEngine(1)
+	src := proc.NewTable("a")
+	pr := src.Spawn("app", 0, []proc.SegmentSpec{
+		{Name: "heap", VAddr: 0x20000000, Size: 8 << 20, Seed: 2},
+	})
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			sink := &BufferSink{}
+			if _, err := Checkpoint(p, pr, nil, sink, Options{Hash: true}); err != nil {
+				b.Error(err)
+				return
+			}
+			dst := proc.NewTable(fmt.Sprintf("b%d", i))
+			if _, err := Restart(p, &BufferSource{Buf: sink.Buf}, dst, RestartOptions{Verify: true}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

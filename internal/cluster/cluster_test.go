@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/ftb"
+	"ibmig/internal/gige"
+	"ibmig/internal/sim"
+)
+
+func TestDefaultLayoutMatchesPaper(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{PVFSServers: 4})
+	if len(c.Compute) != 8 || len(c.Spares) != 1 {
+		t.Fatalf("compute=%d spares=%d, want 8,1", len(c.Compute), len(c.Spares))
+	}
+	if c.PVFS == nil || len(c.PVFS.Servers()) != 4 {
+		t.Fatal("PVFS not provisioned with 4 servers")
+	}
+	for _, n := range append(append([]*Node{c.Login}, c.Compute...), c.Spares...) {
+		if n.HCA == nil || n.Eth == nil || n.IPoIB == nil || n.FS == nil || n.Procs == nil {
+			t.Fatalf("node %s incompletely provisioned", n.Name)
+		}
+	}
+}
+
+func TestPlacementBlocks(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 4})
+	pl := c.Placement(8, 2)
+	want := []string{"node01", "node01", "node02", "node02", "node03", "node03", "node04", "node04"}
+	for i, n := range pl {
+		if n != want[i] {
+			t.Fatalf("placement = %v", pl)
+		}
+	}
+}
+
+func TestPlacementOverflowPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Placement(8, 2) // needs 4 nodes
+}
+
+func TestFTBSpansAllNodes(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 4, SpareNodes: 2})
+	// Publish from a spare; receive on the login node.
+	sub := c.FTB.Connect("login", "obs").Subscribe("", "")
+	pub := c.FTB.Connect("spare02", "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		pub.Publish(p, ftb.Event{Namespace: "ns", Name: "X"})
+	})
+	if err := e.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Pending() != 1 {
+		t.Fatal("event from spare did not reach login")
+	}
+	e.Shutdown()
+}
+
+func TestIPoIBSlowerThanIBFasterThanGigE(t *testing.T) {
+	// Sanity on the three network planes: move 10 MB over each and compare.
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 2})
+	const n = 10 << 20
+	var ibT, ipoibT, ethT sim.Duration
+	e.Spawn("meter", func(p *sim.Proc) {
+		start := p.Now()
+		if err := c.Fabric.Transfer(p, "node01", "node02", n); err != nil {
+			t.Error(err)
+		}
+		ibT = p.Now().Sub(start)
+
+		conn, err := c.Node("node01").IPoIB.Dial(p, "node02")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.SpawnChild("sink", func(sp *sim.Proc) {
+			if srv, ok := c.Node("node02").IPoIB.Accept(sp); ok {
+				srv.Recv(sp)
+			}
+		})
+		start = p.Now()
+		if err := conn.Send(p, gige.Message{Size: n}); err != nil {
+			t.Error(err)
+		}
+		ipoibT = p.Now().Sub(start)
+
+		econn, err := c.Node("node01").Eth.Dial(p, "node02")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.SpawnChild("esink", func(sp *sim.Proc) {
+			if srv, ok := c.Node("node02").Eth.Accept(sp); ok {
+				srv.Recv(sp)
+			}
+		})
+		start = p.Now()
+		if err := econn.Send(p, gige.Message{Size: n}); err != nil {
+			t.Error(err)
+		}
+		ethT = p.Now().Sub(start)
+	})
+	if err := e.RunUntil(sim.Time(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if !(ibT < ipoibT && ipoibT < ethT) {
+		t.Fatalf("network ordering broken: ib=%v ipoib=%v eth=%v", ibT, ipoibT, ethT)
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ibmig/internal/blcr"
+	"ibmig/internal/cluster"
+	"ibmig/internal/gige"
+	"ibmig/internal/ib"
+	"ibmig/internal/mem"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+	"ibmig/internal/vfs"
+)
+
+// srcBufMgr is the user-level buffer manager on the migration source (paper
+// Fig. 3): it owns the buffer pool that the altered BLCR maps into kernel
+// space, hands chunks to the per-process checkpoint streams, announces full
+// chunks to the target, and recycles chunks when the target releases them.
+type srcBufMgr struct {
+	fw        *Framework
+	m         *migrationState
+	pool      *mem.Region
+	poolMR    *ib.MR
+	chunkSize int64
+	free      *sim.Queue[int64] // offsets of free chunks in the pool
+	qp        *ib.QP            // control endpoint (RDMA transport)
+	sock      *gige.Conn        // data connection (socket transport)
+	complete  *sim.Event
+
+	ChunksSent int64
+}
+
+// sockChunk is a chunk pushed over the socket-staging transport.
+type sockChunk struct {
+	rank    int
+	fileOff int64
+	data    payload.Buffer
+}
+
+// newSrcBufMgr sets up the source side: pool allocation and registration and
+// the control/data channel to the target. The calling process pays the setup
+// costs (this is inside Phase 2).
+func newSrcBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationState) *srcBufMgr {
+	opts := fw.opts
+	s := &srcBufMgr{
+		fw:        fw,
+		m:         m,
+		pool:      mem.NewRegion(opts.BufferPoolBytes, 0xB00F),
+		chunkSize: opts.ChunkBytes,
+		free:      sim.NewQueue[int64](fw.C.E, "core.srcpool."+node.Name, 0),
+		complete:  sim.NewEvent(fw.C.E),
+	}
+	for off := int64(0); off+s.chunkSize <= opts.BufferPoolBytes; off += s.chunkSize {
+		s.free.TrySend(off)
+	}
+	switch opts.Transport {
+	case TransportRDMA:
+		dstHCA := fw.C.Fabric.HCA(m.dst)
+		qpS, qpT := ib.ConnectQP(p, node.HCA, dstHCA)
+		s.qp = qpS
+		m.tgtQP = qpT
+		s.poolMR = node.HCA.RegisterMR(p, s.pool)
+		// Pump: chunk releases and the final completion come back on the
+		// control channel.
+		fw.C.E.Spawn("core.srcpump."+node.Name, func(pp *sim.Proc) {
+			for {
+				msg, ok := qpS.Recv(pp)
+				if !ok {
+					return
+				}
+				cm := msg.Meta.(ctrlMsg)
+				switch cm.kind {
+				case kRelease:
+					s.free.TrySend(cm.poolOff)
+				case kComplete:
+					s.complete.Fire()
+				}
+			}
+		})
+	case TransportSocket:
+		conn, err := node.IPoIB.Dial(p, m.dst)
+		if err != nil {
+			panic("core: socket staging dial: " + err.Error())
+		}
+		s.sock = conn
+		fw.C.E.Spawn("core.srcsock."+node.Name, func(pp *sim.Proc) {
+			for {
+				msg, ok := conn.Recv(pp)
+				if !ok {
+					return
+				}
+				if msg.Kind == "complete" {
+					s.complete.Fire()
+				}
+			}
+		})
+	}
+	return s
+}
+
+// close releases the source-side transport resources.
+func (s *srcBufMgr) close() {
+	if s.poolMR != nil {
+		s.poolMR.Deregister()
+	}
+	if s.qp != nil {
+		s.qp.Close()
+	}
+	if s.sock != nil {
+		s.sock.Close()
+	}
+}
+
+// sink returns the aggregation sink for one rank's checkpoint stream.
+func (s *srcBufMgr) sink(rank int) *aggSink {
+	return &aggSink{mgr: s, rank: rank, cur: -1}
+}
+
+// sendChunk announces (RDMA) or pushes (socket) one filled chunk.
+func (s *srcBufMgr) sendChunk(p *sim.Proc, rank int, fileOff, poolOff, size int64) {
+	s.ChunksSent++
+	if s.qp != nil {
+		err := s.qp.PostSend(ib.Message{
+			Meta:     ctrlMsg{kind: kChunkReady, rank: rank, fileOff: fileOff, size: size, poolOff: poolOff, rkey: s.poolMR.RKey()},
+			MetaSize: 64,
+		})
+		if err != nil {
+			panic("core: chunk announce: " + err.Error())
+		}
+		return
+	}
+	// Socket staging: the chunk's bytes go through the memory-copy socket
+	// stack; once Send returns the kernel owns a copy and the chunk is free.
+	data := s.pool.Read(poolOff, size)
+	err := s.sock.Send(p, gige.Message{
+		Kind:    "chunk",
+		Payload: sockChunk{rank: rank, fileOff: fileOff, data: data},
+		Size:    64 + size,
+	})
+	if err != nil {
+		panic("core: socket chunk send: " + err.Error())
+	}
+	s.free.TrySend(poolOff)
+}
+
+// sendRankDone tells the target how many bytes rank's complete image has.
+func (s *srcBufMgr) sendRankDone(p *sim.Proc, rank int, total int64) {
+	if s.qp != nil {
+		if err := s.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kRankDone, rank: rank, total: total}, MetaSize: 64}); err != nil {
+			panic("core: rank-done announce: " + err.Error())
+		}
+		return
+	}
+	if err := s.sock.Send(p, gige.Message{Kind: "rankdone", Payload: sockChunk{rank: rank, fileOff: total}, Size: 64}); err != nil {
+		panic("core: socket rank-done: " + err.Error())
+	}
+}
+
+// aggSink adapts one process's BLCR checkpoint stream onto the shared buffer
+// pool: data fills the current chunk; full chunks are announced and a fresh
+// chunk is fetched from the pool, blocking when the pool is exhausted — the
+// paper's flow control.
+type aggSink struct {
+	mgr     *srcBufMgr
+	rank    int
+	cur     int64 // current chunk offset in the pool, -1 if none
+	fill    int64
+	written int64 // stream bytes fully handed to chunks
+}
+
+// Write implements blcr.Sink.
+func (a *aggSink) Write(p *sim.Proc, b payload.Buffer) {
+	for b.Size() > 0 {
+		if a.cur < 0 {
+			off, ok := a.mgr.free.Recv(p)
+			if !ok {
+				panic("core: buffer pool closed mid-checkpoint")
+			}
+			a.cur, a.fill = off, 0
+		}
+		take := a.mgr.chunkSize - a.fill
+		if take > b.Size() {
+			take = b.Size()
+		}
+		a.mgr.pool.Write(a.cur+a.fill, b.Slice(0, take))
+		a.fill += take
+		a.written += take
+		b = b.Slice(take, b.Size()-take)
+		if a.fill == a.mgr.chunkSize {
+			a.flush(p)
+		}
+	}
+}
+
+func (a *aggSink) flush(p *sim.Proc) {
+	start := a.written - a.fill
+	a.mgr.sendChunk(p, a.rank, start, a.cur, a.fill)
+	a.cur, a.fill = -1, 0
+}
+
+// close flushes the final partial chunk and announces the stream's total
+// size.
+func (a *aggSink) close(p *sim.Proc, total int64) {
+	if a.fill > 0 {
+		a.flush(p)
+	}
+	if a.written != total {
+		panic(fmt.Sprintf("core: rank %d sink wrote %d of %d bytes", a.rank, a.written, total))
+	}
+	a.mgr.sendRankDone(p, a.rank, total)
+}
+
+// orderedAssembler reassembles a rank's stream from chunks that may complete
+// out of order (memory-based restart destination).
+type orderedAssembler struct {
+	parts []struct {
+		off int64
+		b   payload.Buffer
+	}
+}
+
+func (o *orderedAssembler) add(off int64, b payload.Buffer) {
+	o.parts = append(o.parts, struct {
+		off int64
+		b   payload.Buffer
+	}{off, b})
+}
+
+func (o *orderedAssembler) final() payload.Buffer {
+	sort.Slice(o.parts, func(i, j int) bool { return o.parts[i].off < o.parts[j].off })
+	var out payload.Buffer
+	for _, p := range o.parts {
+		if p.off != out.Size() {
+			panic(fmt.Sprintf("core: stream gap at %d (next chunk at %d)", out.Size(), p.off))
+		}
+		out.AppendBuffer(p.b)
+	}
+	return out
+}
+
+// targetBufMgr is the buffer manager on the migration target: it pulls
+// announced chunks with RDMA Read (bounded by its own pool), releases them,
+// and reassembles per-rank images into temporary checkpoint files or memory.
+type targetBufMgr struct {
+	fw   *Framework
+	node *cluster.Node
+	m    *migrationState
+
+	qp       *ib.QP
+	sockConn *gige.Conn
+	tokens   *sim.Queue[int]
+
+	files map[int]*vfs.File
+	mem   map[int]*orderedAssembler
+
+	expected  map[int]int64
+	written   map[int]int64
+	ranksDone int
+	doneSent  bool
+
+	// onRankComplete, if set (pipelined restart), fires once per rank when
+	// its full image has landed.
+	onRankComplete func(rank int)
+	rankStarted    map[int]bool
+}
+
+func newTargetBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationState) *targetBufMgr {
+	opts := fw.opts
+	t := &targetBufMgr{
+		fw:          fw,
+		node:        node,
+		m:           m,
+		qp:          m.tgtQP,
+		tokens:      sim.NewQueue[int](fw.C.E, "core.tgtpool."+node.Name, 0),
+		files:       make(map[int]*vfs.File),
+		mem:         make(map[int]*orderedAssembler),
+		expected:    make(map[int]int64),
+		written:     make(map[int]int64),
+		rankStarted: make(map[int]bool),
+	}
+	for i := int64(0); i+opts.ChunkBytes <= opts.BufferPoolBytes; i += opts.ChunkBytes {
+		t.tokens.TrySend(int(i / opts.ChunkBytes))
+	}
+	for _, r := range m.ranks {
+		if opts.RestartMode == RestartFile {
+			t.files[r.ID()] = node.FS.Create(p, fmt.Sprintf("context.%d.tmp", r.ID()))
+		} else {
+			t.mem[r.ID()] = &orderedAssembler{}
+		}
+	}
+	return t
+}
+
+// stream returns the reassembled checkpoint stream for a rank (memory mode).
+func (t *targetBufMgr) stream(rank int) blcr.Source {
+	return &blcr.BufferSource{Buf: t.mem[rank].final()}
+}
+
+// run processes inbound chunk traffic until the transfer completes.
+func (t *targetBufMgr) run(p *sim.Proc) {
+	if t.fw.opts.Transport == TransportSocket {
+		t.runSocket(p)
+		return
+	}
+	for {
+		msg, ok := t.qp.Recv(p)
+		if !ok {
+			return
+		}
+		cm := msg.Meta.(ctrlMsg)
+		switch cm.kind {
+		case kChunkReady:
+			token, tok := t.tokens.Recv(p)
+			if !tok {
+				return
+			}
+			cm := cm
+			p.SpawnChild(fmt.Sprintf("core.pull.%s.%d", t.node.Name, token), func(wp *sim.Proc) {
+				t.pull(wp, cm, token)
+			})
+		case kRankDone:
+			t.expected[cm.rank] = cm.total
+			t.ranksDone++
+			t.noteProgress(cm.rank)
+			t.checkComplete(p)
+		}
+		if t.doneSent {
+			return
+		}
+	}
+}
+
+// pull executes one RDMA Read: fetch the chunk, release it at the source,
+// land it in the rank's destination.
+func (t *targetBufMgr) pull(p *sim.Proc, cm ctrlMsg, token int) {
+	data, err := t.qp.RDMARead(p, cm.rkey, cm.poolOff, cm.size)
+	if err != nil {
+		panic("core: RDMA pull: " + err.Error())
+	}
+	// Release the source chunk as soon as the data is here (paper: "the
+	// target buffer manager sends a RDMA-Read reply telling the source
+	// buffer manager to release a buffer chunk").
+	if err := t.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kRelease, poolOff: cm.poolOff}, MetaSize: 64}); err != nil {
+		panic("core: release: " + err.Error())
+	}
+	t.land(p, cm.rank, cm.fileOff, data)
+	t.tokens.TrySend(token)
+	t.checkComplete(p)
+}
+
+// land writes a chunk into the rank's reassembly destination.
+func (t *targetBufMgr) land(p *sim.Proc, rank int, fileOff int64, data payload.Buffer) {
+	if f := t.files[rank]; f != nil {
+		f.WriteAt(p, fileOff, data)
+	} else {
+		t.mem[rank].add(fileOff, data)
+	}
+	t.written[rank] += data.Size()
+	t.noteProgress(rank)
+}
+
+// noteProgress fires the on-the-fly restart hook once a rank's image is
+// complete.
+func (t *targetBufMgr) noteProgress(rank int) {
+	if t.onRankComplete == nil || t.rankStarted[rank] {
+		return
+	}
+	want, known := t.expected[rank]
+	if known && t.written[rank] >= want {
+		t.rankStarted[rank] = true
+		t.onRankComplete(rank)
+	}
+}
+
+// checkComplete sends the completion notification once every rank's full
+// image has landed, then shuts the target's receive side down so its daemons
+// exit.
+func (t *targetBufMgr) checkComplete(p *sim.Proc) {
+	if t.doneSent || t.ranksDone < len(t.m.ranks) {
+		return
+	}
+	for r, want := range t.expected {
+		if t.written[r] < want {
+			return
+		}
+	}
+	t.doneSent = true
+	if t.fw.opts.Transport == TransportSocket {
+		_ = t.sockConn.SendAsync(gige.Message{Kind: "complete", Size: 64})
+		return
+	}
+	if err := t.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kComplete}, MetaSize: 64}); err != nil {
+		panic("core: complete: " + err.Error())
+	}
+	// The completion may be detected by a pull worker while the main receive
+	// loop is blocked; closing the local endpoint unblocks it (the posted
+	// completion is already on the wire).
+	t.qp.Close()
+}
+
+// runSocket is the socket-staging receive loop: chunks arrive with their
+// payload inline; no pools or releases are involved (the kernel socket
+// buffers provide the flow control — and the copies).
+func (t *targetBufMgr) runSocket(p *sim.Proc) {
+	conn, ok := t.node.IPoIB.Accept(p)
+	if !ok {
+		return
+	}
+	t.sockConn = conn
+	for {
+		msg, mok := conn.Recv(p)
+		if !mok {
+			return
+		}
+		switch msg.Kind {
+		case "chunk":
+			c := msg.Payload.(sockChunk)
+			t.land(p, c.rank, c.fileOff, c.data)
+			t.checkComplete(p)
+		case "rankdone":
+			c := msg.Payload.(sockChunk)
+			t.expected[c.rank] = c.fileOff
+			t.ranksDone++
+			t.noteProgress(c.rank)
+			t.checkComplete(p)
+		}
+		if t.doneSent {
+			return
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package core implements the paper's contribution: the Job Migration
+// Framework for MPI over InfiniBand.
+//
+// Components (paper Fig. 1):
+//
+//   - Job Manager (login node): launches Node Launch Agents on primary and
+//     spare nodes, subscribes to the FTB, and orchestrates migrations.
+//   - Node Launch Agent (NLA, every compute/spare node): state machine
+//     MIGRATION_READY / MIGRATION_SPARE / MIGRATION_INACTIVE; executes the
+//     source side (checkpoint + RDMA transfer) and target side (reassembly +
+//     restart) of a migration.
+//   - C/R threads: realized by the mpi package's suspension protocol.
+//   - Migration Trigger: user request or health-predictor event.
+//
+// Migration cycle (paper Fig. 2):
+//
+//	Phase 1  Job Stall      FTB_MIGRATE published; all ranks drain in-flight
+//	                        messages and tear down endpoints.
+//	Phase 2  Job Migration  ranks on the source node are checkpointed through
+//	                        an aggregation buffer pool; the target pulls
+//	                        chunks with RDMA Read; FTB_MIGRATE_PIIC ends it.
+//	Phase 3  Restart        FTB_RESTART; the target NLA rebuilds the process
+//	                        images (from temporary files, or directly from
+//	                        memory with the memory-based restart extension).
+//	Phase 4  Resume         endpoints are re-established; the job continues.
+package core
+
+import (
+	"fmt"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/cluster"
+	"ibmig/internal/ftb"
+	"ibmig/internal/ib"
+	"ibmig/internal/metrics"
+	"ibmig/internal/mpi"
+	"ibmig/internal/npb"
+	"ibmig/internal/proc"
+	"ibmig/internal/sim"
+)
+
+// RestartMode selects how migrated processes are rebuilt on the target.
+type RestartMode int
+
+// Restart modes.
+const (
+	// RestartFile is the paper's implemented design: chunks are reassembled
+	// into temporary checkpoint files on the target's local file system and
+	// BLCR restarts from those files (the cost that dominates Phase 3).
+	RestartFile RestartMode = iota
+	// RestartMemory is the paper's future-work extension: images are
+	// reassembled in memory and processes restart without touching the disk.
+	RestartMemory
+	// RestartPipelined is the full version of the future work ("restarting
+	// the processes on-the-fly as the process image data arrives at the
+	// buffer pool"): each process restarts from memory the moment its last
+	// chunk lands, overlapping Phase 3 with the remainder of Phase 2.
+	RestartPipelined
+)
+
+// Transport selects how process images move to the spare node.
+type Transport int
+
+// Transports.
+const (
+	// TransportRDMA is the paper's design: the target pulls full chunks with
+	// RDMA Read over InfiniBand.
+	TransportRDMA Transport = iota
+	// TransportSocket is the staging baseline the paper argues against:
+	// chunks are pushed through a TCP socket over IPoIB, paying the
+	// memory-copy based socket protocol stack.
+	TransportSocket
+)
+
+// Options tune the framework.
+type Options struct {
+	BufferPoolBytes int64 // default 10 MB (paper's setting)
+	ChunkBytes      int64 // default 1 MB (paper's setting)
+	RestartMode     RestartMode
+	Transport       Transport
+	// Hash enables end-to-end image checksums (verified at restart).
+	Hash bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferPoolBytes == 0 {
+		o.BufferPoolBytes = calib.DefaultBufferPool
+	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = calib.DefaultChunkSize
+	}
+	if o.ChunkBytes > o.BufferPoolBytes {
+		o.ChunkBytes = o.BufferPoolBytes
+	}
+	return o
+}
+
+// Framework is a launched MPI job under migration protection.
+type Framework struct {
+	C    *cluster.Cluster
+	W    *mpi.World
+	opts Options
+
+	jm      *JobManager
+	nlas    map[string]*NLA
+	nlaList []*NLA
+
+	trigger *ftb.Client
+
+	// Reports collects one phase report per completed migration.
+	Reports []*metrics.Report
+
+	// lastVerified records whether the most recent migration's restored
+	// images were bit-identical to the checkpointed ones (Hash mode).
+	lastVerified bool
+
+	migrationSeq int
+	current      *migrationState
+}
+
+// migrationState is the in-flight migration shared between JM and NLAs (the
+// in-process stand-in for state the real components keep per MPI job).
+type migrationState struct {
+	seq      int
+	src, dst string
+	ranks    []*mpi.Rank
+	sus      *mpi.Suspension
+
+	suspended  *sim.Event // JM: global consistent state reached
+	qpReady    *sim.Event // source BM: control QP to target established
+	tgtQP      *ib.QP     // target's endpoint of the buffer-manager channel
+	tgt        *targetBufMgr
+	report     *metrics.Report
+	watch      *metrics.Stopwatch
+	piicAt     sim.Time
+	restarted  *sim.Event
+	finished   *sim.Event
+	imageSums  map[int]uint64 // rank -> pre-migration image checksum
+	restoredOK bool
+	// pipelineDone, under RestartPipelined, signals per-rank on-the-fly
+	// restart completion.
+	pipelineDone map[int]*sim.Event
+}
+
+// MigratePayload is the FTB_MIGRATE event payload.
+type MigratePayload struct {
+	Source string
+	Target string
+	Seq    int
+}
+
+// RestartPayload is the FTB_RESTART event payload.
+type RestartPayload struct {
+	Target string
+	Ranks  []int
+	Seq    int
+}
+
+// Event published by the target NLA when all migrated ranks are running
+// again (end of Phase 3).
+const eventRestartDone = "FTB_RESTART_DONE"
+
+// Event published by a trigger source to request a migration of a node.
+const eventMigrateRequest = "MIGRATE_REQUEST"
+
+// Launch starts an MPI job with migration protection: creates the OS
+// processes for every rank (using the workload's address-space layout),
+// binds them to the MPI world, starts the application, and deploys the Job
+// Manager and the NLAs.
+func Launch(c *cluster.Cluster, w npb.Workload, ranksPerNode int, res *npb.Result, opts Options) *Framework {
+	return LaunchApp(c, w.Name(), c.Placement(w.Ranks, ranksPerNode), w.SegmentSpecs, w.App(res), opts)
+}
+
+// LaunchApp is the generic entry point: any app over any placement, with a
+// per-rank address-space layout.
+func LaunchApp(c *cluster.Cluster, name string, placement []string, segs func(rank int) []proc.SegmentSpec, app func(*mpi.Rank), opts Options) *Framework {
+	fw := &Framework{
+		C:    c,
+		opts: opts.withDefaults(),
+		nlas: make(map[string]*NLA),
+	}
+	fw.W = mpi.NewWorld(c.E, c.Fabric, placement, mpi.Config{})
+	for i := range placement {
+		node := c.Node(placement[i])
+		pr := node.Procs.Spawn(fmt.Sprintf("%s.rank%d", name, i), i, segs(i))
+		fw.W.Rank(i).OS = pr
+	}
+	fw.W.Start(app)
+
+	// NLAs on every primary node (MIGRATION_READY) and spare (MIGRATION_SPARE).
+	for _, n := range c.Compute {
+		fw.addNLA(n, StateReady)
+	}
+	for _, n := range c.Spares {
+		fw.addNLA(n, StateSpare)
+	}
+	fw.jm = newJobManager(fw)
+	fw.trigger = c.FTB.Connect(c.Login.Name, "migration-trigger")
+	return fw
+}
+
+func (fw *Framework) addNLA(n *cluster.Node, st NLAState) {
+	nla := newNLA(fw, n, st)
+	fw.nlas[n.Name] = nla
+	fw.nlaList = append(fw.nlaList, nla)
+}
+
+// NLA returns the agent on the given node.
+func (fw *Framework) NLA(node string) *NLA { return fw.nlas[node] }
+
+// JobManager returns the job manager.
+func (fw *Framework) JobManager() *JobManager { return fw.jm }
+
+// Options returns the framework options.
+func (fw *Framework) Options() Options { return fw.opts }
+
+// TriggerMigration requests migration of the given source node (the paper's
+// user-initiated trigger: "our design also enables direct user intervention
+// to trigger a migration"). The Job Manager picks the spare. The returned
+// event fires when the whole cycle (through Phase 4) has completed.
+func (fw *Framework) TriggerMigration(p *sim.Proc, srcNode string) *sim.Event {
+	done := sim.NewEvent(fw.C.E)
+	fw.jm.completionWaiters = append(fw.jm.completionWaiters, done)
+	fw.trigger.Publish(p, ftb.Event{
+		Namespace: ftb.NamespaceMVAPICH,
+		Name:      eventMigrateRequest,
+		Payload:   srcNode,
+	})
+	return done
+}
+
+// AttachPredictor routes health-predictor failure predictions into migration
+// requests (the proactive path).
+func (fw *Framework) AttachPredictor(predictions *sim.Queue[string]) {
+	fw.C.E.Spawn("core.predictor-bridge", func(p *sim.Proc) {
+		for {
+			node, ok := predictions.Recv(p)
+			if !ok {
+				return
+			}
+			fw.TriggerMigration(p, node)
+		}
+	})
+}
+
+// ReactivateNode returns a repaired, vacated node to the spare pool
+// (MIGRATION_INACTIVE -> MIGRATION_SPARE), completing the paper's cycle:
+// "the Job Migration cycle is now complete and is ready for the next cycle."
+// It fails if the node is not currently inactive.
+func (fw *Framework) ReactivateNode(node string) error {
+	nla := fw.nlas[node]
+	if nla == nil {
+		return fmt.Errorf("core: no NLA on %s", node)
+	}
+	if nla.State() != StateInactive {
+		return fmt.Errorf("core: %s is %v, not MIGRATION_INACTIVE", node, nla.State())
+	}
+	nla.setState(StateSpare)
+	return nil
+}
+
+// Shutdown tears down the MPI world's connections (daemon pumps exit).
+func (fw *Framework) Shutdown() { fw.W.Shutdown() }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ibmig/internal/ftb"
+	"ibmig/internal/metrics"
+	"ibmig/internal/sim"
+)
+
+// JobManager orchestrates migrations from the login node. All coordination
+// with NLAs flows over the FTB (events FTB_MIGRATE, FTB_MIGRATE_PIIC,
+// FTB_RESTART, FTB_RESTART_DONE); the MPI-rank suspension protocol stands in
+// for the C/R threads' reaction to FTB_MIGRATE.
+type JobManager struct {
+	fw     *Framework
+	client *ftb.Client
+
+	// spawnTree maps each node to its parent in the (ScELA-style) launch
+	// tree; migrations re-home the moved node under the login root.
+	spawnTree map[string]string
+
+	pending           []string
+	completionWaiters []*sim.Event
+
+	// MigrationsDone counts completed cycles; FailedTriggers counts requests
+	// dropped for lack of a spare node.
+	MigrationsDone int
+	FailedTriggers int
+}
+
+func newJobManager(fw *Framework) *JobManager {
+	jm := &JobManager{
+		fw:        fw,
+		client:    fw.C.FTB.Connect(fw.C.Login.Name, "job-manager"),
+		spawnTree: make(map[string]string),
+	}
+	for _, n := range fw.C.Compute {
+		jm.spawnTree[n.Name] = fw.C.Login.Name
+	}
+	sub := jm.client.Subscribe(ftb.NamespaceMVAPICH, "")
+	fw.C.E.Spawn("core.jobmanager", func(p *sim.Proc) { jm.loop(p, sub) })
+	return jm
+}
+
+func (jm *JobManager) loop(p *sim.Proc, sub *ftb.Subscription) {
+	for {
+		ev, ok := sub.Recv(p)
+		if !ok {
+			return
+		}
+		switch ev.Name {
+		case eventMigrateRequest:
+			src := ev.Payload.(string)
+			if jm.fw.current != nil {
+				jm.pending = append(jm.pending, src)
+				continue
+			}
+			jm.startMigration(p, src)
+		case ftb.EventMigratePIIC:
+			jm.onPIIC(p, ev)
+		case eventRestartDone:
+			jm.onRestartDone(p, ev)
+		}
+	}
+}
+
+// startMigration runs Phase 1 and kicks off Phase 2 (paper Fig. 2).
+func (jm *JobManager) startMigration(p *sim.Proc, src string) {
+	fw := jm.fw
+	// Select the migration target: the first NLA still in MIGRATION_SPARE.
+	var dst string
+	for _, nla := range fw.nlaList {
+		if nla.State() == StateSpare {
+			dst = nla.node.Name
+			break
+		}
+	}
+	if dst == "" || fw.nlas[src] == nil || fw.nlas[src].State() != StateReady {
+		jm.FailedTriggers++
+		p.Trace("core.jm", fmt.Sprintf("migration of %s dropped (no spare or bad source)", src))
+		jm.fireCompletions()
+		return
+	}
+	ranks := fw.W.RanksOn(src)
+	if len(ranks) == 0 {
+		jm.FailedTriggers++
+		jm.fireCompletions()
+		return
+	}
+	fw.migrationSeq++
+	m := &migrationState{
+		seq:        fw.migrationSeq,
+		src:        src,
+		dst:        dst,
+		ranks:      ranks,
+		suspended:  sim.NewEvent(fw.C.E),
+		qpReady:    sim.NewEvent(fw.C.E),
+		restarted:  sim.NewEvent(fw.C.E),
+		finished:   sim.NewEvent(fw.C.E),
+		imageSums:  make(map[int]uint64),
+		restoredOK: true,
+		report:     metrics.NewReport(fmt.Sprintf("migration#%d %s->%s", fw.migrationSeq, src, dst)),
+	}
+	m.watch = metrics.NewStopwatch(m.report, p.Now())
+	fw.current = m
+	p.Trace("core.jm", fmt.Sprintf("FTB_MIGRATE %s -> %s (%d ranks)", src, dst, len(ranks)))
+	jm.client.Publish(p, ftb.Event{
+		Namespace: ftb.NamespaceMVAPICH,
+		Name:      ftb.EventMigrate,
+		Payload:   MigratePayload{Source: src, Target: dst, Seq: m.seq},
+	})
+
+	// Phase 1 — Job Stall: every MPI process suspends communication, drains
+	// in-flight messages and tears down its endpoints (the C/R threads react
+	// to FTB_MIGRATE; the mpi suspension protocol is that reaction).
+	m.sus = fw.W.BeginSuspend()
+	m.sus.WaitAllDrained(p)
+	m.sus.CompleteTeardown()
+	m.sus.WaitAllSuspended(p)
+	m.watch.Lap(metrics.PhaseStall, p.Now())
+	m.suspended.Fire() // the source NLA may now checkpoint
+}
+
+// onPIIC handles the end of Phase 2: adjust the mpispawn tree for the
+// topology change and broadcast FTB_RESTART with the migrated rank list.
+func (jm *JobManager) onPIIC(p *sim.Proc, ev ftb.Event) {
+	m := jm.fw.current
+	if m == nil || ev.Payload.(int) != m.seq {
+		return
+	}
+	m.watch.Lap(metrics.PhaseMigrate, p.Now())
+	m.piicAt = p.Now()
+	// Re-home the target under the login root; the source leaves the tree.
+	delete(jm.spawnTree, m.src)
+	jm.spawnTree[m.dst] = jm.fw.C.Login.Name
+	p.Sleep(time.Millisecond) // tree surgery bookkeeping
+	ids := make([]int, len(m.ranks))
+	for i, r := range m.ranks {
+		ids[i] = r.ID()
+	}
+	jm.client.Publish(p, ftb.Event{
+		Namespace: ftb.NamespaceMVAPICH,
+		Name:      ftb.EventRestart,
+		Payload:   RestartPayload{Target: m.dst, Ranks: ids, Seq: m.seq},
+	})
+}
+
+// onRestartDone handles the end of Phase 3 and runs Phase 4 (Resume).
+func (jm *JobManager) onRestartDone(p *sim.Proc, ev ftb.Event) {
+	m := jm.fw.current
+	if m == nil || ev.Payload.(int) != m.seq {
+		return
+	}
+	m.watch.Lap(metrics.PhaseRestart, p.Now())
+	// Phase 4 — Resume: all ranks re-establish endpoints and leave the
+	// migration barrier.
+	m.sus.Resume()
+	m.sus.WaitAllResumed(p)
+	m.watch.Lap(metrics.PhaseResume, p.Now())
+
+	jm.fw.Reports = append(jm.fw.Reports, m.report)
+	jm.fw.lastVerified = m.restoredOK
+	jm.fw.current = nil
+	jm.MigrationsDone++
+	m.finished.Fire()
+	p.Trace("core.jm", fmt.Sprintf("migration #%d complete: %s", m.seq, m.report))
+	jm.fireCompletions()
+	if len(jm.pending) > 0 {
+		next := jm.pending[0]
+		jm.pending = jm.pending[1:]
+		jm.startMigration(p, next)
+	}
+}
+
+// fireCompletions fires the oldest outstanding trigger's completion event
+// (requests are served FIFO, so completions map FIFO too).
+func (jm *JobManager) fireCompletions() {
+	if len(jm.completionWaiters) == 0 {
+		return
+	}
+	jm.completionWaiters[0].Fire()
+	jm.completionWaiters = jm.completionWaiters[1:]
+}
+
+// SpawnTree returns a copy of the current launch-tree parent map.
+func (jm *JobManager) SpawnTree() map[string]string {
+	out := make(map[string]string, len(jm.spawnTree))
+	for k, v := range jm.spawnTree {
+		out[k] = v
+	}
+	return out
+}

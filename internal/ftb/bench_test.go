@@ -1,0 +1,45 @@
+package ftb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ibmig/internal/gige"
+	"ibmig/internal/sim"
+)
+
+// BenchmarkEventRouting64 measures publishing one event to 64 agents with
+// one subscriber each.
+func BenchmarkEventRouting64(b *testing.B) {
+	e := sim.NewEngine(1)
+	net := gige.NewNetwork(e, gige.Config{})
+	var nodes []string
+	for i := 0; i < 64; i++ {
+		n := fmt.Sprintf("n%02d", i)
+		net.Attach(n)
+		nodes = append(nodes, n)
+	}
+	bp := Deploy(e, net, nodes, 4)
+	var subs []*Subscription
+	for _, n := range nodes {
+		subs = append(subs, bp.Connect(n, "c"+n).Subscribe("", ""))
+	}
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("bench", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond) // tree assembly
+		for i := 0; i < b.N; i++ {
+			pub.Publish(p, Event{Namespace: "ns", Name: "E"})
+			p.Sleep(5 * time.Millisecond) // propagation window
+		}
+		e.Stop()
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+	if got := subs[63].Pending(); got != b.N {
+		b.Fatalf("delivered %d/%d to the last agent", got, b.N)
+	}
+}

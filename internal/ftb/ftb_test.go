@@ -1,0 +1,264 @@
+package ftb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ibmig/internal/gige"
+	"ibmig/internal/sim"
+)
+
+func deploy(t *testing.T, n, fanout int) (*sim.Engine, *Backplane, []string) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := gige.NewNetwork(e, gige.Config{})
+	var nodes []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node%02d", i)
+		net.Attach(name)
+		nodes = append(nodes, name)
+	}
+	return e, Deploy(e, net, nodes, fanout), nodes
+}
+
+// drive runs the engine until t; FTB agents are perpetual daemons, so a plain
+// Run would report them as deadlocked at the end of input.
+func drive(t *testing.T, e *sim.Engine, until time.Duration) {
+	t.Helper()
+	if err := e.RunUntil(sim.Time(until)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	e, bp, nodes := deploy(t, 9, 2)
+	got := make(map[string]Event)
+	for _, n := range nodes {
+		n := n
+		cl := bp.Connect(n, "listener@"+n)
+		sub := cl.Subscribe(NamespaceMVAPICH, "")
+		e.Spawn("listen@"+n, func(p *sim.Proc) {
+			ev, ok := sub.Recv(p)
+			if ok {
+				got[n] = ev
+			}
+		})
+	}
+	pub := bp.Connect(nodes[4], "trigger")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond) // let the tree assemble
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventMigrate, Payload: "src=node03 dst=spare"})
+	})
+	drive(t, e, time.Second)
+	if len(got) != len(nodes) {
+		t.Fatalf("event reached %d/%d nodes", len(got), len(nodes))
+	}
+	for n, ev := range got {
+		if ev.Name != EventMigrate || ev.SrcNode != nodes[4] {
+			t.Errorf("node %s got %v", n, ev)
+		}
+	}
+}
+
+func TestSubscriptionFiltering(t *testing.T) {
+	e, bp, nodes := deploy(t, 3, 2)
+	cl := bp.Connect(nodes[2], "filtered")
+	subMig := cl.Subscribe(NamespaceMVAPICH, EventMigrate)
+	subAll := cl.Subscribe("", "")
+	subOther := cl.Subscribe("ftb.ipmi", "")
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventMigrate})
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventRestart})
+		pub.Publish(p, Event{Namespace: "ftb.ipmi", Name: "TEMP_HIGH"})
+	})
+	drive(t, e, time.Second)
+	if subMig.Pending() != 1 {
+		t.Errorf("migrate-only sub got %d events, want 1", subMig.Pending())
+	}
+	if subAll.Pending() != 3 {
+		t.Errorf("wildcard sub got %d events, want 3", subAll.Pending())
+	}
+	if subOther.Pending() != 1 {
+		t.Errorf("ipmi sub got %d events, want 1", subOther.Pending())
+	}
+}
+
+func TestExactlyOnceDeliveryPerSubscriber(t *testing.T) {
+	// Flooding a tree must not duplicate events, even on interior nodes with
+	// several edges.
+	e, bp, nodes := deploy(t, 7, 2)
+	subs := make([]*Subscription, len(nodes))
+	for i, n := range nodes {
+		subs[i] = bp.Connect(n, "c"+n).Subscribe("", "")
+	}
+	pub := bp.Connect(nodes[6], "pub") // publish from a leaf
+	const events = 5
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < events; i++ {
+			pub.Publish(p, Event{Namespace: "ns", Name: fmt.Sprintf("E%d", i)})
+		}
+	})
+	drive(t, e, time.Second)
+	for i, s := range subs {
+		if s.Pending() != events {
+			t.Errorf("subscriber %d got %d events, want %d", i, s.Pending(), events)
+		}
+	}
+}
+
+func TestEventOrderPreservedPerPublisher(t *testing.T) {
+	e, bp, nodes := deploy(t, 5, 2)
+	sub := bp.Connect(nodes[4], "c").Subscribe("", "")
+	pub := bp.Connect(nodes[1], "pub")
+	const events = 10
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		for i := 0; i < events; i++ {
+			pub.Publish(p, Event{Namespace: "ns", Name: fmt.Sprintf("E%d", i)})
+		}
+	})
+	drive(t, e, time.Second)
+	for i := 0; i < events; i++ {
+		ev, ok := sub.TryRecv()
+		if !ok || ev.Name != fmt.Sprintf("E%d", i) {
+			t.Fatalf("event %d out of order: %v ok=%v", i, ev, ok)
+		}
+	}
+}
+
+func TestAgentFailureSelfHealing(t *testing.T) {
+	// Tree with fanout 2 over 7 nodes: node00 <- node01,node02;
+	// node01 <- node03,node04; node02 <- node05,node06.
+	e, bp, nodes := deploy(t, 7, 2)
+	leafSub := bp.Connect("node03", "leaf").Subscribe("", "")
+	rootPub := bp.Connect("node00", "root")
+	e.Spawn("scenario", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		// Kill node01, the parent of node03. node03 must re-attach to node00.
+		bp.KillAgent("node01")
+		p.Sleep(20 * time.Millisecond) // allow healing
+		rootPub.Publish(p, Event{Namespace: "ns", Name: "AFTER_HEAL"})
+	})
+	drive(t, e, time.Second)
+	ev, ok := leafSub.TryRecv()
+	if !ok || ev.Name != "AFTER_HEAL" {
+		t.Fatalf("leaf behind failed agent did not receive post-heal event: %v ok=%v", ev, ok)
+	}
+	_ = nodes
+}
+
+func TestPublishFromOrphanedClientIsLost(t *testing.T) {
+	e, bp, nodes := deploy(t, 3, 2)
+	sub := bp.Connect(nodes[0], "c").Subscribe("", "")
+	deadPub := bp.Connect(nodes[2], "dead")
+	e.Spawn("scenario", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		bp.KillAgent(nodes[2])
+		deadPub.Publish(p, Event{Namespace: "ns", Name: "GHOST"})
+	})
+	drive(t, e, time.Second)
+	if sub.Pending() != 0 {
+		t.Fatal("event published through a dead agent was delivered")
+	}
+}
+
+func TestCrossNodePropagationTakesNetworkTime(t *testing.T) {
+	e, bp, nodes := deploy(t, 2, 2)
+	var localAt, remoteAt sim.Time
+	localSub := bp.Connect(nodes[0], "local").Subscribe("", "")
+	remoteSub := bp.Connect(nodes[1], "remote").Subscribe("", "")
+	e.Spawn("local", func(p *sim.Proc) {
+		if _, ok := localSub.Recv(p); ok {
+			localAt = p.Now()
+		}
+	})
+	e.Spawn("remote", func(p *sim.Proc) {
+		if _, ok := remoteSub.Recv(p); ok {
+			remoteAt = p.Now()
+		}
+	})
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		pub.Publish(p, Event{Namespace: "ns", Name: "E"})
+	})
+	drive(t, e, time.Second)
+	if localAt == 0 || remoteAt == 0 {
+		t.Fatal("event not delivered everywhere")
+	}
+	if remoteAt <= localAt {
+		t.Fatalf("remote delivery (%v) should lag local (%v)", remoteAt, localAt)
+	}
+}
+
+func TestBackplaneScalesTo64Agents(t *testing.T) {
+	e, bp, nodes := deploy(t, 64, 4)
+	var received int
+	for _, n := range nodes {
+		sub := bp.Connect(n, "c"+n).Subscribe("", "")
+		e.Spawn("l"+n, func(p *sim.Proc) {
+			if _, ok := sub.Recv(p); ok {
+				received++
+			}
+		})
+	}
+	pub := bp.Connect(nodes[63], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		pub.Publish(p, Event{Namespace: "ns", Name: "WIDE"})
+	})
+	drive(t, e, 2*time.Second)
+	if received != 64 {
+		t.Fatalf("delivered to %d/64 agents", received)
+	}
+}
+
+func TestChaosMultipleAgentFailures(t *testing.T) {
+	// Kill several interior agents in sequence; as long as an ancestor path
+	// to the root survives, events published afterwards reach all remaining
+	// live subscribers exactly once.
+	e, bp, nodes := deploy(t, 15, 2) // three full levels
+	subs := make(map[string]*Subscription)
+	for _, n := range nodes {
+		subs[n] = bp.Connect(n, "c"+n).Subscribe("", "")
+	}
+	pub := bp.Connect(nodes[0], "root-pub")
+	killOrder := []string{"node01", "node05", "node06"}
+	killed := map[string]bool{}
+	for _, n := range killOrder {
+		killed[n] = true
+	}
+	e.Spawn("chaos", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		for _, n := range killOrder {
+			bp.KillAgent(n)
+			p.Sleep(10 * time.Millisecond)
+		}
+		p.Sleep(50 * time.Millisecond) // allow healing to settle
+		pub.Publish(p, Event{Namespace: "ns", Name: "AFTER_CHAOS"})
+	})
+	drive(t, e, 2*time.Second)
+	for _, n := range nodes {
+		want := 1
+		if killed[n] {
+			want = 0 // clients of dead agents are orphaned
+		}
+		got := 0
+		for {
+			ev, ok := subs[n].TryRecv()
+			if !ok {
+				break
+			}
+			if ev.Name == "AFTER_CHAOS" {
+				got++
+			}
+		}
+		if got != want {
+			t.Errorf("node %s received %d copies, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package ftmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func base() Params {
+	return Params{
+		Nodes:          64,
+		NodeMTBF:       1000 * time.Hour,
+		CheckpointCost: 30 * time.Second,
+		RestartCost:    60 * time.Second,
+		MigrationCost:  6 * time.Second,
+	}
+}
+
+func TestSystemMTBFScalesInversely(t *testing.T) {
+	p := base()
+	m64 := p.SystemMTBF()
+	p.Nodes = 128
+	if got := p.SystemMTBF(); got != m64/2 {
+		t.Fatalf("128-node MTBF = %v, want %v", got, m64/2)
+	}
+}
+
+func TestOptimumNearYoungForSmallOverhead(t *testing.T) {
+	// With δ << M the exponential optimum approaches sqrt(2δM).
+	p := base()
+	opt := p.OptimalInterval().Seconds()
+	young := p.YoungInterval().Seconds()
+	if math.Abs(opt-young)/young > 0.10 {
+		t.Fatalf("optimal %.0fs vs Young %.0fs: difference > 10%%", opt, young)
+	}
+}
+
+func TestCoverageProlongsInterval(t *testing.T) {
+	// The paper's claim: proactive migration lets CR checkpoint less often.
+	p := base()
+	tau0 := p.OptimalInterval().Seconds()
+	p.Coverage = 0.75
+	tau75 := p.OptimalInterval().Seconds()
+	// 1/sqrt(1-0.75) = 2.0
+	ratio := tau75 / tau0
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("interval ratio at 75%% coverage = %.2f, want ~2.0", ratio)
+	}
+}
+
+func TestCoverageImprovesEfficiency(t *testing.T) {
+	p := base()
+	p.Nodes = 4096 // make failures frequent enough to matter
+	e0 := p.Efficiency()
+	p.Coverage = 0.7
+	e70 := p.Efficiency()
+	if e70 <= e0 {
+		t.Fatalf("efficiency with coverage %.4f <= without %.4f", e70, e0)
+	}
+}
+
+func TestFullCoverageNeedsAlmostNoCheckpoints(t *testing.T) {
+	p := base()
+	p.Coverage = 1
+	if eff := p.Efficiency(); eff < 0.99 {
+		t.Fatalf("full-coverage efficiency = %.4f, want ~1 (only migration cost remains)", eff)
+	}
+}
+
+func TestExpectedRuntimeExceedsSolveTime(t *testing.T) {
+	p := base()
+	w := 100 * time.Hour
+	if got := p.ExpectedRuntime(w, p.OptimalInterval()); got <= w {
+		t.Fatalf("expected runtime %v <= solve time %v", got, w)
+	}
+}
+
+func TestOptimalBeatsArbitraryIntervals(t *testing.T) {
+	p := base()
+	w := 100 * time.Hour
+	opt := p.OptimalInterval()
+	best := p.ExpectedRuntime(w, opt)
+	for _, tau := range []time.Duration{opt / 8, opt / 2, opt * 2, opt * 8} {
+		if p.ExpectedRuntime(w, tau) < best {
+			t.Fatalf("interval %v beats the 'optimal' %v", tau, opt)
+		}
+	}
+}
+
+func TestEfficiencyDropsWithScale(t *testing.T) {
+	p := base()
+	var prev float64 = 1
+	for _, nodes := range []int{8, 64, 512, 4096, 32768} {
+		p.Nodes = nodes
+		eff := p.Efficiency()
+		if eff >= prev {
+			t.Fatalf("efficiency did not drop at %d nodes (%.4f >= %.4f)", nodes, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Nodes: 0, NodeMTBF: time.Hour, CheckpointCost: time.Second},
+		{Nodes: 1, NodeMTBF: 0, CheckpointCost: time.Second},
+		{Nodes: 1, NodeMTBF: time.Hour, CheckpointCost: 0},
+		{Nodes: 1, NodeMTBF: time.Hour, CheckpointCost: time.Second, Coverage: 1.5},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more coverage never shortens the optimal interval and never
+// hurts efficiency (for plausible parameter ranges).
+func TestQuickCoverageMonotone(t *testing.T) {
+	f := func(nodesRaw uint16, covRaw uint8) bool {
+		p := base()
+		p.Nodes = int(nodesRaw)%8192 + 8
+		c := float64(covRaw%90) / 100
+		tau0 := p.OptimalInterval()
+		e0 := p.Efficiency()
+		p.Coverage = c
+		return p.OptimalInterval() >= tau0-tau0/50 && p.Efficiency() >= e0-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	// The event-driven simulation and the closed-form expectation are
+	// independent implementations of the same model; they must agree within
+	// Monte-Carlo noise at the optimal interval.
+	for _, cov := range []float64{0, 0.5} {
+		p := base()
+		p.Nodes = 4096
+		p.Coverage = cov
+		tau := p.OptimalInterval()
+		solve := 200 * time.Hour
+		analytic := p.ExpectedRuntime(solve, tau).Hours()
+		simulated := p.Simulate(solve, tau, 400, 99).Hours()
+		if diff := math.Abs(simulated-analytic) / analytic; diff > 0.05 {
+			t.Errorf("coverage %.1f: Monte Carlo %.1fh vs analytic %.1fh (%.1f%% apart)",
+				cov, simulated, analytic, diff*100)
+		}
+	}
+}
+
+func TestMonteCarloCoverageReducesWallTime(t *testing.T) {
+	p := base()
+	p.Nodes = 8192
+	tau := p.OptimalInterval()
+	solve := 200 * time.Hour
+	without := p.Simulate(solve, tau, 300, 7)
+	p.Coverage = 0.8
+	with := p.Simulate(solve, tau, 300, 7)
+	if with >= without {
+		t.Fatalf("80%% coverage did not reduce wall time: %v vs %v", with, without)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	p := base()
+	a := p.Simulate(50*time.Hour, p.OptimalInterval(), 50, 3)
+	b := p.Simulate(50*time.Hour, p.OptimalInterval(), 50, 3)
+	if a != b {
+		t.Fatal("same seed produced different Monte-Carlo results")
+	}
+}

@@ -1,0 +1,182 @@
+// Package health models the node-health side of proactive fault tolerance:
+// IPMI-style sensors polled on each node and a threshold predictor that turns
+// sensor excursions into failure predictions on the FTB — the event source
+// the paper cites ("a migration can be triggered by an abnormal event of
+// system health status such as reported by IPMI or other failure prediction
+// models").
+package health
+
+import (
+	"fmt"
+
+	"ibmig/internal/ftb"
+	"ibmig/internal/sim"
+)
+
+// Event namespaces and names.
+const (
+	NamespaceIPMI = "ftb.ipmi"
+	NamespacePred = "ftb.predictor"
+
+	EventSensorWarn       = "SENSOR_WARN"
+	EventSensorCritical   = "SENSOR_CRIT"
+	EventFailurePredicted = "NODE_FAILURE_PREDICTED"
+)
+
+// SensorReading is the payload of sensor events.
+type SensorReading struct {
+	Node   string
+	Sensor string
+	Value  float64
+}
+
+// Sensor is one monitored quantity with warning and critical thresholds. The
+// Series function gives the sensor value as a function of virtual time, so
+// tests and examples can script deteriorations deterministically.
+type Sensor struct {
+	Name   string
+	Warn   float64
+	Crit   float64
+	Series func(t sim.Time) float64
+}
+
+// Monitor polls a node's sensors and publishes threshold crossings on the
+// FTB. Crossings are edge-triggered: one event per excursion.
+type Monitor struct {
+	node     string
+	client   *ftb.Client
+	sensors  []*Sensor
+	interval sim.Duration
+	level    map[string]int // 0 ok, 1 warn, 2 crit
+}
+
+// NewMonitor starts a monitor for node, polling at the given interval.
+func NewMonitor(e *sim.Engine, bp *ftb.Backplane, node string, interval sim.Duration, sensors []*Sensor) *Monitor {
+	m := &Monitor{
+		node:     node,
+		client:   bp.Connect(node, "ipmi@"+node),
+		sensors:  sensors,
+		interval: interval,
+		level:    make(map[string]int),
+	}
+	e.Spawn("health.monitor."+node, m.loop)
+	return m
+}
+
+func (m *Monitor) loop(p *sim.Proc) {
+	for {
+		p.Sleep(m.interval)
+		for _, s := range m.sensors {
+			v := s.Series(p.Now())
+			lvl := 0
+			switch {
+			case v >= s.Crit:
+				lvl = 2
+			case v >= s.Warn:
+				lvl = 1
+			}
+			if lvl == m.level[s.Name] {
+				continue
+			}
+			m.level[s.Name] = lvl
+			name := ""
+			switch lvl {
+			case 1:
+				name = EventSensorWarn
+			case 2:
+				name = EventSensorCritical
+			default:
+				continue // recovered; no event in this simple model
+			}
+			m.client.Publish(p, ftb.Event{
+				Namespace: NamespaceIPMI,
+				Name:      name,
+				Severity:  name,
+				Payload:   SensorReading{Node: m.node, Sensor: s.Name, Value: v},
+			})
+		}
+	}
+}
+
+// Predictor turns IPMI events into failure predictions: any critical
+// crossing, or warnThreshold warnings from the same node, predicts that the
+// node will fail. Predictions are published once per node.
+type Predictor struct {
+	client        *ftb.Client
+	warnThreshold int
+	warns         map[string]int
+	predicted     map[string]bool
+
+	// Predictions streams the names of nodes predicted to fail (for
+	// consumers that prefer a queue over an FTB subscription).
+	Predictions *sim.Queue[string]
+}
+
+// NewPredictor starts a predictor on the given node (typically the login
+// node).
+func NewPredictor(e *sim.Engine, bp *ftb.Backplane, node string, warnThreshold int) *Predictor {
+	if warnThreshold <= 0 {
+		warnThreshold = 3
+	}
+	pr := &Predictor{
+		client:        bp.Connect(node, "predictor"),
+		warnThreshold: warnThreshold,
+		warns:         make(map[string]int),
+		predicted:     make(map[string]bool),
+		Predictions:   sim.NewQueue[string](e, "health.predictions", 0),
+	}
+	sub := pr.client.Subscribe(NamespaceIPMI, "")
+	e.Spawn("health.predictor", func(p *sim.Proc) {
+		for {
+			ev, ok := sub.Recv(p)
+			if !ok {
+				return
+			}
+			r, isReading := ev.Payload.(SensorReading)
+			if !isReading || pr.predicted[r.Node] {
+				continue
+			}
+			fail := false
+			if ev.Name == EventSensorCritical {
+				fail = true
+			} else if ev.Name == EventSensorWarn {
+				pr.warns[r.Node]++
+				fail = pr.warns[r.Node] >= pr.warnThreshold
+			}
+			if !fail {
+				continue
+			}
+			pr.predicted[r.Node] = true
+			pr.client.Publish(p, ftb.Event{
+				Namespace: NamespacePred,
+				Name:      EventFailurePredicted,
+				Severity:  "CRITICAL",
+				Payload:   r.Node,
+			})
+			pr.Predictions.TrySend(r.Node)
+			p.Trace("health.predict", fmt.Sprintf("node %s predicted to fail (%s=%.1f)", r.Node, r.Sensor, r.Value))
+		}
+	})
+	return pr
+}
+
+// RampSensor returns a sensor whose value ramps linearly from base, starting
+// at startAt, by slopePerSec — a scripted deterioration.
+func RampSensor(name string, warn, crit, base float64, startAt sim.Time, slopePerSec float64) *Sensor {
+	return &Sensor{
+		Name: name,
+		Warn: warn,
+		Crit: crit,
+		Series: func(t sim.Time) float64 {
+			if t <= startAt {
+				return base
+			}
+			return base + (t-startAt).Seconds()*slopePerSec
+		},
+	}
+}
+
+// SteadySensor returns a sensor pinned at a healthy value.
+func SteadySensor(name string, warn, crit, value float64) *Sensor {
+	return &Sensor{Name: name, Warn: warn, Crit: crit, Series: func(sim.Time) float64 { return value }}
+}

@@ -1,0 +1,104 @@
+package health
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ibmig/internal/ftb"
+	"ibmig/internal/gige"
+	"ibmig/internal/sim"
+)
+
+func backplane(n int) (*sim.Engine, *ftb.Backplane, []string) {
+	e := sim.NewEngine(5)
+	net := gige.NewNetwork(e, gige.Config{})
+	var nodes []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%02d", i)
+		net.Attach(name)
+		nodes = append(nodes, name)
+	}
+	return e, ftb.Deploy(e, net, nodes, 2), nodes
+}
+
+func TestCriticalSensorPredictsFailure(t *testing.T) {
+	e, bp, nodes := backplane(4)
+	NewMonitor(e, bp, nodes[2], 100*time.Millisecond, []*Sensor{
+		RampSensor("cpu-temp", 85, 95, 60, sim.Time(time.Second), 20),
+	})
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	node, ok := pred.Predictions.TryRecv()
+	if !ok || node != nodes[2] {
+		t.Fatalf("prediction = %q ok=%v, want %s", node, ok, nodes[2])
+	}
+	// Exactly one prediction per node, even though the sensor stays critical.
+	if _, again := pred.Predictions.TryRecv(); again {
+		t.Fatal("duplicate prediction")
+	}
+	e.Shutdown()
+}
+
+func TestRepeatedWarningsPredictFailure(t *testing.T) {
+	e, bp, nodes := backplane(3)
+	// Value oscillates across the warn threshold, generating repeated
+	// edge-triggered warnings but never reaching critical.
+	osc := &Sensor{
+		Name: "ecc", Warn: 10, Crit: 1000,
+		Series: func(tm sim.Time) float64 {
+			if (tm/sim.Time(500*time.Millisecond))%2 == 0 {
+				return 5
+			}
+			return 20
+		},
+	}
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{osc})
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); !ok || node != nodes[1] {
+		t.Fatalf("no prediction after repeated warnings (got %q, %v)", node, ok)
+	}
+	e.Shutdown()
+}
+
+func TestHealthySensorsStaySilent(t *testing.T) {
+	e, bp, nodes := backplane(3)
+	for _, n := range nodes {
+		NewMonitor(e, bp, n, 100*time.Millisecond, []*Sensor{
+			SteadySensor("cpu-temp", 85, 95, 55),
+			SteadySensor("fan", 100, 200, 40),
+		})
+	}
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); ok {
+		t.Fatalf("spurious prediction for %s", node)
+	}
+	if bp.Published != 0 {
+		t.Fatalf("healthy cluster published %d events", bp.Published)
+	}
+	e.Shutdown()
+}
+
+func TestEdgeTriggeredEvents(t *testing.T) {
+	e, bp, nodes := backplane(2)
+	// A sensor stuck above warn publishes exactly one event.
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{
+		SteadySensor("cpu-temp", 85, 95, 90),
+	})
+	sub := bp.Connect(nodes[0], "obs").Subscribe(NamespaceIPMI, "")
+	if err := e.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Pending() != 1 {
+		t.Fatalf("events = %d, want 1 (edge-triggered)", sub.Pending())
+	}
+	e.Shutdown()
+}

@@ -1,0 +1,57 @@
+package ib
+
+import (
+	"testing"
+
+	"ibmig/internal/mem"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// BenchmarkRDMAReadOps measures simulator throughput of the RDMA Read verb
+// (wall time per simulated operation).
+func BenchmarkRDMAReadOps(b *testing.B) {
+	e := sim.NewEngine(1)
+	f := NewFabric(e, Config{})
+	a, c := f.AttachHCA("a"), f.AttachHCA("b")
+	region := mem.NewRegionWith(payload.Synth(1, 0, 1<<20))
+	e.Spawn("bench", func(p *sim.Proc) {
+		qa, _ := ConnectQP(p, a, c)
+		mr := c.RegisterMR(p, region)
+		for i := 0; i < b.N; i++ {
+			if _, err := qa.RDMARead(p, mr.RKey(), 0, 1<<20); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPostSendOps measures the async send path.
+func BenchmarkPostSendOps(b *testing.B) {
+	e := sim.NewEngine(1)
+	f := NewFabric(e, Config{})
+	a, c := f.AttachHCA("a"), f.AttachHCA("b")
+	e.Spawn("bench", func(p *sim.Proc) {
+		qa, qb := ConnectQP(p, a, c)
+		for i := 0; i < b.N; i++ {
+			if err := qa.PostSend(Message{Data: payload.Synth(1, 0, 4096)}); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, ok := qb.Recv(p); !ok {
+				b.Error("recv failed")
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package ib models an InfiniBand fabric at the verbs level: host channel
+// adapters (HCAs), reliable-connection queue pairs (QPs), registered memory
+// regions (MRs) with remote keys, send/receive, and one-sided RDMA Read and
+// RDMA Write.
+//
+// Timing comes from link occupancy: each HCA has an egress (tx) and ingress
+// (rx) serialization resource; a transfer of n bytes holds the source tx for
+// n/bandwidth, propagates after the wire latency, and holds the destination
+// rx for n/bandwidth. The switch is assumed full-bisection (the paper's
+// testbed is a single-switch 8-node cluster), so contention appears exactly
+// where it did in the paper: at endpoint links — e.g. many clients pulling
+// from one migration source, or many checkpoint streams converging on the
+// PVFS servers.
+package ib
+
+import (
+	"errors"
+	"fmt"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/mem"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// Errors returned by verbs operations.
+var (
+	ErrQPClosed    = errors.New("ib: queue pair is closed")
+	ErrInvalidRKey = errors.New("ib: invalid or revoked rkey")
+	ErrOutOfBounds = errors.New("ib: access beyond memory region bounds")
+	ErrUnknownNode = errors.New("ib: unknown node")
+)
+
+// Config sets the fabric's link parameters. Zero values fall back to the
+// calibrated defaults.
+type Config struct {
+	Bandwidth int64        // bytes/sec per link direction
+	Latency   sim.Duration // one-way propagation
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = calib.IBBandwidth
+	}
+	if c.Latency == 0 {
+		c.Latency = calib.IBLatency
+	}
+	return c
+}
+
+// Fabric is the interconnect: a set of HCAs joined by a non-blocking switch.
+type Fabric struct {
+	E    *sim.Engine
+	cfg  Config
+	hcas map[string]*HCA
+
+	// Aggregate counters (bytes moved over the wire, fabric-wide).
+	BytesTransferred int64
+	Operations       int64
+}
+
+// NewFabric creates a fabric on the given engine.
+func NewFabric(e *sim.Engine, cfg Config) *Fabric {
+	return &Fabric{E: e, cfg: cfg.withDefaults(), hcas: make(map[string]*HCA)}
+}
+
+// Bandwidth returns the configured per-link bandwidth in bytes/sec.
+func (f *Fabric) Bandwidth() int64 { return f.cfg.Bandwidth }
+
+// AttachHCA adds a node's adapter to the fabric. Node names must be unique.
+func (f *Fabric) AttachHCA(node string) *HCA {
+	if _, dup := f.hcas[node]; dup {
+		panic("ib: duplicate HCA for node " + node)
+	}
+	h := &HCA{
+		f:    f,
+		node: node,
+		tx:   sim.NewResource(f.E, "ib.tx."+node, 1),
+		rx:   sim.NewResource(f.E, "ib.rx."+node, 1),
+		mrs:  make(map[uint32]*MR),
+	}
+	f.hcas[node] = h
+	return h
+}
+
+// HCA returns the adapter attached for node, or nil.
+func (f *Fabric) HCA(node string) *HCA { return f.hcas[node] }
+
+// serialization returns the time n bytes occupy one link direction.
+func (f *Fabric) serialization(n int64) sim.Duration {
+	return sim.Duration(float64(n) / float64(f.cfg.Bandwidth) * 1e9)
+}
+
+// transfer moves n bytes from src to dst in the calling process: hold source
+// egress, propagate, hold destination ingress. Loopback (src == dst) costs a
+// memcpy instead of wire time.
+func (f *Fabric) transfer(p *sim.Proc, src, dst *HCA, n int64) {
+	f.BytesTransferred += n
+	f.Operations++
+	if src == dst {
+		p.Sleep(sim.Duration(float64(n) / float64(calib.MemcpyBandwidth) * 1e9))
+		return
+	}
+	s := f.serialization(n)
+	src.tx.Hold(p, 1, s)
+	src.BytesTx += n
+	p.Sleep(f.cfg.Latency)
+	dst.rx.Hold(p, 1, s)
+	dst.BytesRx += n
+}
+
+// Transfer moves n bytes between two attached nodes in the calling process,
+// modelling a bulk data stream (used by storage clients, e.g. PVFS traffic
+// over the IB transport).
+func (f *Fabric) Transfer(p *sim.Proc, srcNode, dstNode string, n int64) error {
+	src, dst := f.hcas[srcNode], f.hcas[dstNode]
+	if src == nil || dst == nil {
+		return ErrUnknownNode
+	}
+	f.transfer(p, src, dst, n)
+	return nil
+}
+
+// HCA is one node's adapter.
+type HCA struct {
+	f    *Fabric
+	node string
+	tx   *sim.Resource
+	rx   *sim.Resource
+
+	nextQPN  int
+	nextRKey uint32
+	mrs      map[uint32]*MR
+
+	BytesTx int64
+	BytesRx int64
+}
+
+// Node returns the owning node's name.
+func (h *HCA) Node() string { return h.node }
+
+// Fabric returns the fabric this HCA is attached to.
+func (h *HCA) Fabric() *Fabric { return h.f }
+
+// RegisterMR pins a memory region and returns its handle. The calling
+// process pays the registration cost (base + per-page), as ibv_reg_mr does.
+func (h *HCA) RegisterMR(p *sim.Proc, region *mem.Region) *MR {
+	pages := (region.Size() + calib.PageSize - 1) / calib.PageSize
+	p.Sleep(calib.IBMRRegisterBase + sim.Duration(pages)*calib.IBMRRegisterPerPage)
+	h.nextRKey++
+	mr := &MR{hca: h, rkey: h.nextRKey, region: region, valid: true}
+	h.mrs[mr.rkey] = mr
+	return mr
+}
+
+// MR is a registered (pinned) memory region.
+type MR struct {
+	hca    *HCA
+	rkey   uint32
+	region *mem.Region
+	valid  bool
+}
+
+// RKey returns the remote key other nodes use to access this region.
+func (m *MR) RKey() RemoteKey { return RemoteKey{Node: m.hca.node, Key: m.rkey} }
+
+// Region returns the underlying memory.
+func (m *MR) Region() *mem.Region { return m.region }
+
+// Valid reports whether the registration is still live.
+func (m *MR) Valid() bool { return m.valid }
+
+// Deregister unpins the region; subsequent remote accesses with its rkey fail
+// with ErrInvalidRKey. This is the mechanism behind the paper's Phase-1
+// requirement that cached remote keys be released before checkpointing.
+func (m *MR) Deregister() {
+	m.valid = false
+	delete(m.hca.mrs, m.rkey)
+}
+
+// RemoteKey addresses a registered region from a remote node.
+type RemoteKey struct {
+	Node string
+	Key  uint32
+}
+
+// Message is a two-sided (send/recv) delivery.
+type Message struct {
+	From string         // sending node
+	Imm  uint64         // immediate data
+	Meta any            // structured header (simulated scatter/gather entry 0)
+	Data payload.Buffer // payload
+	// MetaSize is the simulated wire size of Meta, included in transfer cost.
+	MetaSize int64
+}
+
+// Size returns the message's wire size.
+func (m Message) Size() int64 { return m.Data.Size() + m.MetaSize + 32 /* transport header */ }
+
+// QP is one endpoint of a reliable connection.
+type QP struct {
+	hca   *HCA
+	num   int
+	peer  *QP
+	open  bool
+	recvQ *sim.Queue[Message]
+
+	inflight int       // wire operations outstanding on this endpoint
+	idle     *sim.Gate // open when inflight == 0
+
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// ConnectQP establishes a reliable connection between two HCAs, paying the
+// QP setup cost in the calling process, and returns the two endpoints.
+func ConnectQP(p *sim.Proc, a, b *HCA) (*QP, *QP) {
+	p.Sleep(calib.IBQPSetup)
+	mk := func(h *HCA) *QP {
+		h.nextQPN++
+		return &QP{
+			hca:   h,
+			num:   h.nextQPN,
+			open:  true,
+			recvQ: sim.NewQueue[Message](h.f.E, fmt.Sprintf("qp.%s.%d", h.node, h.nextQPN), 0),
+			idle:  sim.NewGate(h.f.E, true),
+		}
+	}
+	qa, qb := mk(a), mk(b)
+	qa.peer, qb.peer = qb, qa
+	return qa, qb
+}
+
+// Open reports whether the endpoint is usable.
+func (q *QP) Open() bool { return q.open }
+
+// Node returns the local node name.
+func (q *QP) Node() string { return q.hca.node }
+
+// PeerNode returns the remote node name.
+func (q *QP) PeerNode() string { return q.peer.hca.node }
+
+func (q *QP) addInflight(n int) {
+	q.inflight += n
+	if q.inflight == 0 {
+		q.idle.Open()
+	} else {
+		q.idle.Close()
+	}
+}
+
+// PostSend transmits a message asynchronously: the wire work proceeds in a
+// helper process and the message is appended to the peer's receive queue when
+// the last byte lands. Returns ErrQPClosed if the endpoint is down.
+func (q *QP) PostSend(m Message) error {
+	if !q.open || !q.peer.open {
+		return ErrQPClosed
+	}
+	m.From = q.hca.node
+	q.addInflight(1)
+	q.BytesSent += m.Size()
+	q.MsgsSent++
+	peer := q.peer
+	q.hca.f.E.Spawn(fmt.Sprintf("ib.send.%s->%s", q.hca.node, peer.hca.node), func(p *sim.Proc) {
+		q.hca.f.transfer(p, q.hca, peer.hca, m.Size())
+		if peer.open {
+			peer.recvQ.TrySend(m)
+		}
+		q.addInflight(-1)
+	})
+	return nil
+}
+
+// Send transmits synchronously: the calling process performs the wire work
+// and returns once the message is delivered to the peer's receive queue.
+func (q *QP) Send(p *sim.Proc, m Message) error {
+	if !q.open || !q.peer.open {
+		return ErrQPClosed
+	}
+	m.From = q.hca.node
+	q.addInflight(1)
+	defer q.addInflight(-1)
+	q.BytesSent += m.Size()
+	q.MsgsSent++
+	q.hca.f.transfer(p, q.hca, q.peer.hca, m.Size())
+	if !q.peer.open {
+		return ErrQPClosed
+	}
+	q.peer.recvQ.TrySend(m)
+	return nil
+}
+
+// Recv blocks until a message arrives. ok is false if the QP closed.
+func (q *QP) Recv(p *sim.Proc) (Message, bool) {
+	return q.recvQ.Recv(p)
+}
+
+// TryRecv returns a queued message without blocking.
+func (q *QP) TryRecv() (Message, bool) { return q.recvQ.TryRecv() }
+
+// RecvLen returns the number of delivered-but-unconsumed messages.
+func (q *QP) RecvLen() int { return q.recvQ.Len() }
+
+// RDMARead pulls [off, off+n) from the remote region identified by rk into
+// the calling process, returning the data. The requester pays the request
+// round trip; the responder's egress link is occupied for the payload
+// serialization, modelling the one-sided, remote-CPU-free semantics of
+// InfiniBand RDMA Read that the paper's migration strategy exploits.
+func (q *QP) RDMARead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, error) {
+	if !q.open || !q.peer.open {
+		return payload.Buffer{}, ErrQPClosed
+	}
+	responder := q.hca.f.hcas[rk.Node]
+	if responder == nil {
+		return payload.Buffer{}, ErrUnknownNode
+	}
+	q.addInflight(1)
+	defer q.addInflight(-1)
+	// Request packet.
+	p.Sleep(calib.IBRDMAReadRequest)
+	q.hca.tx.Hold(p, 1, q.hca.f.serialization(64))
+	p.Sleep(q.hca.f.cfg.Latency)
+	// Responder-side validity check happens in hardware (no remote CPU).
+	mr := responder.mrs[rk.Key]
+	if mr == nil || !mr.valid {
+		return payload.Buffer{}, ErrInvalidRKey
+	}
+	if off < 0 || n < 0 || off+n > mr.region.Size() {
+		return payload.Buffer{}, ErrOutOfBounds
+	}
+	data := mr.region.Read(off, n)
+	// Payload streams back: responder egress, wire, requester ingress.
+	q.hca.f.BytesTransferred += n
+	q.hca.f.Operations++
+	s := q.hca.f.serialization(n)
+	responder.tx.Hold(p, 1, s)
+	responder.BytesTx += n
+	p.Sleep(q.hca.f.cfg.Latency)
+	q.hca.rx.Hold(p, 1, s)
+	q.hca.BytesRx += n
+	return data, nil
+}
+
+// RDMAWrite pushes data into the remote region identified by rk at offset
+// off. The calling process performs the wire work.
+func (q *QP) RDMAWrite(p *sim.Proc, rk RemoteKey, off int64, data payload.Buffer) error {
+	if !q.open || !q.peer.open {
+		return ErrQPClosed
+	}
+	target := q.hca.f.hcas[rk.Node]
+	if target == nil {
+		return ErrUnknownNode
+	}
+	mr := target.mrs[rk.Key]
+	if mr == nil || !mr.valid {
+		return ErrInvalidRKey
+	}
+	n := data.Size()
+	if off < 0 || off+n > mr.region.Size() {
+		return ErrOutOfBounds
+	}
+	q.addInflight(1)
+	defer q.addInflight(-1)
+	q.hca.f.transfer(p, q.hca, target, n)
+	// Re-validate: the registration may have been revoked mid-flight.
+	if !mr.Valid() {
+		return ErrInvalidRKey
+	}
+	mr.region.Write(off, data)
+	return nil
+}
+
+// WaitIdle blocks until the endpoint has no wire operations in flight — the
+// primitive beneath the Phase-1 message drain.
+func (q *QP) WaitIdle(p *sim.Proc) { q.idle.Wait(p) }
+
+// Inflight returns the number of outstanding wire operations.
+func (q *QP) Inflight() int { return q.inflight }
+
+// Close tears down this endpoint. In-flight messages to a closed endpoint
+// are dropped (RC would error them; the MPI layer drains before closing).
+func (q *QP) Close() {
+	if !q.open {
+		return
+	}
+	q.open = false
+	q.recvQ.Close()
+}

@@ -1,0 +1,72 @@
+// Package mem provides mutable simulated memory regions backed by
+// payload.Buffer content, used for RDMA-registered buffers and process-image
+// segments.
+package mem
+
+import (
+	"fmt"
+
+	"ibmig/internal/payload"
+)
+
+// Region is a fixed-size, byte-addressable simulated memory area. Its content
+// is a payload buffer, so it can mix real and synthetic bytes. The zero value
+// is not usable; call NewRegion.
+type Region struct {
+	size    int64
+	content payload.Buffer
+	// writes counts Write calls, a cheap generation number for cache logic.
+	writes int64
+}
+
+// NewRegion returns a region of the given size. Initial content is a
+// deterministic synthetic fill derived from seed (simulated uninitialized
+// memory: stable, but not meaningful).
+func NewRegion(size int64, seed uint64) *Region {
+	if size < 0 {
+		panic("mem: negative region size")
+	}
+	return &Region{size: size, content: payload.Synth(seed, 0, size)}
+}
+
+// NewRegionWith returns a region initialized with exactly the given content.
+func NewRegionWith(b payload.Buffer) *Region {
+	return &Region{size: b.Size(), content: b}
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Generation returns a counter incremented on every Write.
+func (r *Region) Generation() int64 { return r.writes }
+
+// Write replaces the byte range [off, off+b.Size()) with b's content.
+func (r *Region) Write(off int64, b payload.Buffer) {
+	n := b.Size()
+	if off < 0 || off+n > r.size {
+		panic(fmt.Sprintf("mem: write [%d,%d) beyond region size %d", off, off+n, r.size))
+	}
+	if n == 0 {
+		return
+	}
+	var next payload.Buffer
+	next.AppendBuffer(r.content.Slice(0, off))
+	next.AppendBuffer(b)
+	next.AppendBuffer(r.content.Slice(off+n, r.size-off-n))
+	r.content = next
+	r.writes++
+}
+
+// Read returns the content of [off, off+n) without copying.
+func (r *Region) Read(off, n int64) payload.Buffer {
+	if off < 0 || n < 0 || off+n > r.size {
+		panic(fmt.Sprintf("mem: read [%d,%d) beyond region size %d", off, off+n, r.size))
+	}
+	return r.content.Slice(off, n)
+}
+
+// Content returns the whole region content.
+func (r *Region) Content() payload.Buffer { return r.content }
+
+// Checksum returns the FNV-1a checksum of the entire region.
+func (r *Region) Checksum() uint64 { return r.content.Checksum() }

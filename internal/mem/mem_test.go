@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ibmig/internal/payload"
+)
+
+func TestRegionInitialContentDeterministic(t *testing.T) {
+	a := NewRegion(4096, 5)
+	b := NewRegion(4096, 5)
+	c := NewRegion(4096, 6)
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("same seed produced different initial content")
+	}
+	if a.Checksum() == c.Checksum() {
+		t.Fatal("different seeds produced identical content")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := NewRegion(1<<16, 1)
+	data := payload.Synth(9, 0, 1000)
+	r.Write(500, data)
+	if !r.Read(500, 1000).Equal(data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Adjacent content untouched.
+	fresh := NewRegion(1<<16, 1)
+	if !r.Read(0, 500).Equal(fresh.Read(0, 500)) {
+		t.Fatal("write disturbed preceding bytes")
+	}
+	if !r.Read(1500, 1000).Equal(fresh.Read(1500, 1000)) {
+		t.Fatal("write disturbed following bytes")
+	}
+}
+
+func TestGenerationCounts(t *testing.T) {
+	r := NewRegion(100, 1)
+	if r.Generation() != 0 {
+		t.Fatal("fresh region has nonzero generation")
+	}
+	r.Write(0, payload.Synth(1, 0, 10))
+	r.Write(50, payload.Synth(2, 0, 10))
+	if r.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", r.Generation())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	r := NewRegion(100, 1)
+	for _, fn := range []func(){
+		func() { r.Write(95, payload.Synth(1, 0, 10)) },
+		func() { r.Read(95, 10) },
+		func() { r.Write(-1, payload.Synth(1, 0, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewRegionWith(t *testing.T) {
+	content := payload.Synth(3, 7, 5000)
+	r := NewRegionWith(content)
+	if r.Size() != 5000 || !r.Content().Equal(content) {
+		t.Fatal("NewRegionWith mismatch")
+	}
+}
+
+// Property: a region behaves like a reference byte slice under any sequence
+// of writes.
+func TestQuickRegionMatchesReference(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		N    uint8
+		Seed uint64
+	}) bool {
+		const size = 8192
+		if len(ops) > 25 {
+			ops = ops[:25]
+		}
+		r := NewRegion(size, 42)
+		ref := r.Content().Materialize()
+		for _, op := range ops {
+			off := int64(op.Off) % size
+			n := int64(op.N)%(size-off) + 1
+			if off+n > size {
+				n = size - off
+			}
+			data := payload.Synth(op.Seed, 0, n)
+			r.Write(off, data)
+			copy(ref[off:off+n], data.Materialize())
+		}
+		return bytes.Equal(r.Content().Materialize(), ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"ibmig/internal/metrics"
+)
+
+// A migration's phase decomposition renders as a compact report line.
+func ExampleReport() {
+	r := metrics.NewReport("migration node03->spare01")
+	r.Add(metrics.PhaseStall, 11*time.Millisecond)
+	r.Add(metrics.PhaseMigrate, 214*time.Millisecond)
+	r.Add(metrics.PhaseRestart, 5069*time.Millisecond)
+	r.Add(metrics.PhaseResume, 770*time.Millisecond)
+	r.BytesMoved = 170 << 20
+	fmt.Println(r)
+	// Output:
+	// migration node03->spare01: total 6.064s | Job Stall 0.011s | Migration 0.214s | Restart 5.069s | Resume 0.770s | moved 170.0 MB
+}
+
+func ExampleTable() {
+	fmt.Print(metrics.Table(
+		[]string{"app", "migration", "CR"},
+		[][]string{{"LU.C.64", "170.4", "1363.2"}, {"BT.C.64", "308.8", "2470.4"}},
+	))
+	// Output:
+	// app      migration  CR
+	// -------  ---------  ------
+	// LU.C.64  170.4      1363.2
+	// BT.C.64  308.8      2470.4
+}

@@ -1,0 +1,137 @@
+// Package metrics provides the phase-decomposed timing reports and table
+// formatting used to regenerate the paper's figures and tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"ibmig/internal/sim"
+)
+
+// Phase names used throughout the evaluation (paper section III-A / IV).
+const (
+	PhaseStall   = "Job Stall"
+	PhaseMigrate = "Migration" // "Checkpoint" for the CR baseline
+	PhaseRestart = "Restart"
+	PhaseResume  = "Resume"
+	PhaseCkpt    = "Checkpoint"
+)
+
+// Report is a phase-decomposed timing of one fault-tolerance action.
+type Report struct {
+	Label  string
+	Phases []PhaseSpan
+	// BytesMoved is the process-image data volume handled (Table I).
+	BytesMoved int64
+	// Extra carries strategy-specific counters (chunks, verification, ...).
+	Extra map[string]int64
+}
+
+// PhaseSpan is one named interval.
+type PhaseSpan struct {
+	Name     string
+	Duration sim.Duration
+}
+
+// NewReport creates an empty report.
+func NewReport(label string) *Report {
+	return &Report{Label: label, Extra: make(map[string]int64)}
+}
+
+// Add appends a phase span.
+func (r *Report) Add(name string, d sim.Duration) {
+	r.Phases = append(r.Phases, PhaseSpan{Name: name, Duration: d})
+}
+
+// Phase returns the total duration recorded under name.
+func (r *Report) Phase(name string) sim.Duration {
+	var d sim.Duration
+	for _, p := range r.Phases {
+		if p.Name == name {
+			d += p.Duration
+		}
+	}
+	return d
+}
+
+// Total returns the sum of all phases.
+func (r *Report) Total() sim.Duration {
+	var d sim.Duration
+	for _, p := range r.Phases {
+		d += p.Duration
+	}
+	return d
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: total %.3fs", r.Label, r.Total().Seconds())
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, " | %s %.3fs", p.Name, p.Duration.Seconds())
+	}
+	if r.BytesMoved > 0 {
+		fmt.Fprintf(&b, " | moved %.1f MB", float64(r.BytesMoved)/(1<<20))
+	}
+	return b.String()
+}
+
+// Stopwatch captures named spans against the virtual clock.
+type Stopwatch struct {
+	last sim.Time
+	r    *Report
+}
+
+// NewStopwatch starts a stopwatch feeding the report, anchored at now.
+func NewStopwatch(r *Report, now sim.Time) *Stopwatch {
+	return &Stopwatch{last: now, r: r}
+}
+
+// Lap records the time since the previous lap under the given phase name.
+func (s *Stopwatch) Lap(name string, now sim.Time) {
+	s.r.Add(name, now.Sub(s.last))
+	s.last = now
+}
+
+// Table renders rows of columns as an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		var row strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			fmt.Fprintf(&row, "%-*s", width[i], cell)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	var rule []string
+	for _, w := range width {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as seconds with millisecond resolution.
+func Seconds(d sim.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// MB formats a byte count in binary megabytes with one decimal.
+func MB(n int64) string { return fmt.Sprintf("%.1f", float64(n)/(1<<20)) }

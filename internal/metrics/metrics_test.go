@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ibmig/internal/sim"
+)
+
+func TestReportPhasesAndTotal(t *testing.T) {
+	r := NewReport("x")
+	r.Add(PhaseStall, 10*time.Millisecond)
+	r.Add(PhaseMigrate, 500*time.Millisecond)
+	r.Add(PhaseRestart, 4*time.Second)
+	r.Add(PhaseResume, time.Second)
+	if r.Phase(PhaseRestart) != 4*time.Second {
+		t.Fatalf("restart = %v", r.Phase(PhaseRestart))
+	}
+	if r.Total() != 5510*time.Millisecond {
+		t.Fatalf("total = %v", r.Total())
+	}
+	// Repeated phases accumulate.
+	r.Add(PhaseStall, 5*time.Millisecond)
+	if r.Phase(PhaseStall) != 15*time.Millisecond {
+		t.Fatalf("accumulated stall = %v", r.Phase(PhaseStall))
+	}
+}
+
+func TestStopwatchLaps(t *testing.T) {
+	r := NewReport("w")
+	sw := NewStopwatch(r, sim.Time(100))
+	sw.Lap("a", sim.Time(350))
+	sw.Lap("b", sim.Time(1000))
+	if r.Phase("a") != 250 || r.Phase("b") != 650 {
+		t.Fatalf("laps wrong: a=%v b=%v", r.Phase("a"), r.Phase("b"))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := NewReport("migration")
+	r.Add(PhaseStall, time.Second)
+	r.BytesMoved = 170 << 20
+	s := r.String()
+	for _, want := range []string{"migration", "Job Stall", "170.0 MB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "longheader"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Seconds(1500*time.Millisecond) != "1.500" {
+		t.Fatal("Seconds formatting")
+	}
+	if MB(10<<20) != "10.0" {
+		t.Fatal("MB formatting")
+	}
+}

@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/sim"
+)
+
+// BenchmarkRingSendrecv measures one ring-exchange step across 16 ranks
+// (simulator wall cost, not simulated time).
+func BenchmarkRingSendrecv(b *testing.B) {
+	e, _, w := newTestWorld(4, 16)
+	w.Start(func(r *Rank) {
+		n := r.Size()
+		for i := 0; i < b.N; i++ {
+			r.Sendrecv((r.ID()+1)%n, i%1000, 64<<10, (r.ID()-1+n)%n, i%1000)
+		}
+	})
+	e.Spawn("ctl", func(p *sim.Proc) { w.WaitDone(p); e.Stop() })
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+// BenchmarkSuspendResumeCycle measures a full drain/teardown/rebuild cycle
+// over 16 ranks.
+func BenchmarkSuspendResumeCycle(b *testing.B) {
+	e, _, w := newTestWorld(4, 16)
+	w.Start(func(r *Rank) {
+		n := r.Size()
+		for i := 0; ; i++ {
+			if w.Done() {
+				return
+			}
+			r.Compute(time.Millisecond)
+			r.Sendrecv((r.ID()+1)%n, i%1000, 8<<10, (r.ID()-1+n)%n, i%1000)
+		}
+	})
+	done := false
+	e.Spawn("ctl", func(p *sim.Proc) {
+		w.WaitReady(p)
+		for i := 0; i < b.N; i++ {
+			p.Sleep(2 * time.Millisecond)
+			s := w.BeginSuspend()
+			s.WaitAllDrained(p)
+			s.CompleteTeardown()
+			s.WaitAllSuspended(p)
+			s.Resume()
+			s.WaitAllResumed(p)
+		}
+		done = true
+		e.Stop()
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+	if !done {
+		b.Fatal("controller did not finish")
+	}
+}

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"ibmig/internal/calib"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// tagCollBase separates collective-internal tags from application tags.
+// Applications must keep their tags below it.
+const tagCollBase = 1 << 20
+
+// nextCollSeq reserves a tag block for one collective invocation. Tag-block
+// consistency across ranks follows from the MPI requirement that all ranks
+// invoke collectives in the same order.
+func (r *Rank) nextCollSeq() int {
+	seq := r.collSeq
+	r.collSeq++
+	return seq
+}
+
+// Barrier blocks until all ranks have entered it (dissemination algorithm:
+// ceil(log2 n) rounds of neighbour exchanges).
+func (r *Rank) Barrier() {
+	r.poll()
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	seq := r.nextCollSeq()
+	one := payload.Synth(uint64(seq), 0, 1)
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		to := (r.id + dist) % n
+		from := (r.id - dist + n) % n
+		tag := tagCollBase + seq*64 + k
+		r.SendrecvData(to, tag, one, from, tag)
+	}
+}
+
+// Bcast distributes nbytes from root along a binomial tree and returns the
+// payload (roots generate a deterministic payload; callers with explicit
+// content can layer on p2p).
+func (r *Rank) Bcast(root int, nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	tag := tagCollBase + seq*64 + 60
+	var data payload.Buffer
+	rel := (r.id - root + n) % n
+	if rel == 0 {
+		data = payload.Synth(uint64(root)<<32^uint64(seq), 0, nbytes)
+	}
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, _ = r.Recv((r.id-mask+n)%n, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			r.SendData((r.id+mask)%n, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines nbytes from all ranks at root along a binomial tree. The
+// returned payload is meaningful only at root.
+func (r *Rank) Reduce(root int, nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	tag := tagCollBase + seq*64 + 61
+	rel := (r.id - root + n) % n
+	acc := payload.Synth(uint64(r.id)<<32^uint64(seq)^0xC0FFEE, 0, nbytes)
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < n {
+				got, _ := r.Recv((srcRel+root)%n, tag)
+				// Combining cost: one pass over the operands.
+				r.p.Sleep(sim.Duration(float64(got.Size()) / float64(calib.MemcpyBandwidth) * 1e9))
+			}
+		} else {
+			dst := (rel&^mask + root) % n
+			r.SendData(dst, tag, acc)
+			return payload.Buffer{}
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// Allreduce combines nbytes across all ranks and distributes the result
+// (reduce-to-0 followed by broadcast, as small-message MPI implementations
+// commonly do).
+func (r *Rank) Allreduce(nbytes int64) payload.Buffer {
+	r.Reduce(0, nbytes)
+	return r.Bcast(0, nbytes)
+}

@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"ibmig/internal/payload"
+)
+
+// Gather collects nbytes from every rank at root (linear algorithm, as MPI
+// implementations use for small-to-medium payloads). The returned buffer at
+// root is the concatenation in rank order; other ranks get an empty buffer.
+func (r *Rank) Gather(root int, nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	tag := tagCollBase + seq*64 + 62
+	if r.id != root {
+		r.Send(root, tag, nbytes)
+		return payload.Buffer{}
+	}
+	parts := make([]payload.Buffer, n)
+	parts[root] = payload.Synth(uint64(root)<<32^uint64(seq)^0x6A7, 0, nbytes)
+	for i := 0; i < n-1; i++ {
+		data, src := r.Recv(AnySource, tag)
+		parts[src] = data
+	}
+	var out payload.Buffer
+	for _, p := range parts {
+		out.AppendBuffer(p)
+	}
+	return out
+}
+
+// Scatter distributes nbytes to every rank from root (linear). Each rank
+// returns its own slice of the root's deterministic source buffer.
+func (r *Rank) Scatter(root int, nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	tag := tagCollBase + seq*64 + 63
+	if r.id == root {
+		src := payload.Synth(uint64(root)<<32^uint64(seq)^0x5CA7, 0, nbytes*int64(n))
+		for peer := 0; peer < n; peer++ {
+			if peer == root {
+				continue
+			}
+			r.SendData(peer, tag, src.Slice(int64(peer)*nbytes, nbytes))
+		}
+		return src.Slice(int64(root)*nbytes, nbytes)
+	}
+	data, _ := r.Recv(root, tag)
+	return data
+}
+
+// Allgather concatenates nbytes from every rank at every rank (ring
+// algorithm: n-1 steps, each forwarding the neighbour's newest block —
+// bandwidth-optimal, as MPI uses for large payloads).
+func (r *Rank) Allgather(nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	parts := make([]payload.Buffer, n)
+	parts[r.id] = payload.Synth(uint64(r.id)<<32^uint64(seq)^0xA11, 0, nbytes)
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	have := r.id // the newest block we hold
+	for step := 0; step < n-1; step++ {
+		tag := tagCollBase + seq*64 + step
+		got := r.SendrecvData(right, tag, parts[have], left, tag)
+		have = (have - 1 + n) % n
+		parts[have] = got
+	}
+	var out payload.Buffer
+	for _, p := range parts {
+		out.AppendBuffer(p)
+	}
+	return out
+}
+
+// Alltoall exchanges nbytes between every pair of ranks (pairwise-exchange
+// algorithm: n steps with partner id^step on power-of-two sizes, linear
+// shifts otherwise). Returns the concatenation of the blocks received from
+// ranks 0..n-1.
+func (r *Rank) Alltoall(nbytes int64) payload.Buffer {
+	r.poll()
+	n := r.Size()
+	seq := r.nextCollSeq()
+	parts := make([]payload.Buffer, n)
+	blockFor := func(dst int) payload.Buffer {
+		return payload.Synth(uint64(r.id)<<32^uint64(dst)<<16^uint64(seq)^0xA2A, 0, nbytes)
+	}
+	parts[r.id] = blockFor(r.id)
+	for step := 1; step < n; step++ {
+		to := (r.id + step) % n
+		from := (r.id - step + n) % n
+		tag := tagCollBase + seq*64 + step%60
+		parts[from] = r.SendrecvData(to, tag, blockFor(to), from, tag)
+	}
+	var out payload.Buffer
+	for _, p := range parts {
+		out.AppendBuffer(p)
+	}
+	return out
+}

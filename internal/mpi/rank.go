@@ -1,0 +1,279 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/ib"
+	"ibmig/internal/mem"
+	"ibmig/internal/payload"
+	"ibmig/internal/proc"
+	"ibmig/internal/sim"
+)
+
+// conn is one rank's endpoint of a rank-pair connection.
+type conn struct {
+	peer     int
+	qp       *ib.QP
+	mr       *ib.MR       // local rendezvous buffer (pinned)
+	peerRKey ib.RemoteKey // cached remote key of the peer's buffer
+}
+
+func newRendezvousRegion(size int64, owner, peer int) *mem.Region {
+	return mem.NewRegion(size, uint64(owner)<<20|uint64(peer))
+}
+
+// wireHdr is the MPI envelope carried as message metadata.
+type wireHdr struct {
+	From int
+	Tag  int
+}
+
+const wireHdrSize = 16
+
+// control kinds for mailbox messages.
+const (
+	ctlNone = iota
+	ctlSuspend
+)
+
+// inMsg is a message as seen by the receiving rank.
+type inMsg struct {
+	from int
+	tag  int
+	data payload.Buffer
+	ctl  int
+}
+
+// Rank is one MPI process. All communication methods must be called from the
+// rank's own app function (MPI ranks are single-threaded here; the C/R-thread
+// behaviour is folded into the call boundaries, where suspension requests are
+// honoured).
+type Rank struct {
+	w       *World
+	id      int
+	node    string
+	p       *sim.Proc
+	mailbox *sim.Queue[inMsg]
+	unexp   []inMsg
+	conns   map[int]*conn
+
+	// OS is the backing simulated process (address space); set by the
+	// cluster layer, checkpointed and migrated by the framework.
+	OS *proc.Process
+
+	suspendReq bool
+	cycle      *suspendCycle
+	finished   bool
+	activeOps  int
+	opsIdle    *sim.Gate
+
+	collSeq int
+	sendSeq uint64
+
+	BytesSent   int64
+	MsgsSent    int64
+	ComputeTime sim.Duration
+	Suspensions int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Node returns the rank's current node.
+func (r *Rank) Node() string { return r.node }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Proc returns the rank's driving simulation process.
+func (r *Rank) Proc() *sim.Proc { return r.p }
+
+// poll honours a pending suspension request at an MPI call boundary.
+func (r *Rank) poll() {
+	if r.suspendReq {
+		r.doSuspend()
+	}
+}
+
+// startPump forwards one connection's deliveries into the rank mailbox.
+func (r *Rank) startPump(c *conn) {
+	r.w.E.Spawn(fmt.Sprintf("mpi.pump.%d<-%d", r.id, c.peer), func(p *sim.Proc) {
+		for {
+			m, ok := c.qp.Recv(p)
+			if !ok {
+				return
+			}
+			h := m.Meta.(wireHdr)
+			r.mailbox.TrySend(inMsg{from: h.From, tag: h.Tag, data: m.Data})
+		}
+	})
+}
+
+func (r *Rank) beginOp() {
+	r.activeOps++
+	if r.opsIdle != nil {
+		r.opsIdle.Close()
+	}
+}
+
+func (r *Rank) endOp() {
+	r.activeOps--
+	if r.activeOps == 0 && r.opsIdle != nil {
+		r.opsIdle.Open()
+	}
+}
+
+// Send transmits n synthetic payload bytes to rank `to` with the given tag,
+// blocking per MPI semantics: eager messages return once posted, rendezvous
+// messages once delivered.
+func (r *Rank) Send(to, tag int, n int64) {
+	r.sendSeq++
+	r.SendData(to, tag, payload.Synth(uint64(r.id)<<40^uint64(tag)<<20^r.sendSeq, 0, n))
+}
+
+// SendData transmits an explicit payload (content preserved end to end).
+func (r *Rank) SendData(to, tag int, data payload.Buffer) {
+	r.poll()
+	r.p.Sleep(calib.MPIPerMessageOverhead)
+	r.BytesSent += data.Size()
+	r.MsgsSent++
+	if to == r.id {
+		r.p.Sleep(sim.Duration(float64(data.Size()) / float64(calib.MemcpyBandwidth) * 1e9))
+		r.mailbox.TrySend(inMsg{from: r.id, tag: tag, data: data})
+		return
+	}
+	c := r.conns[to]
+	if c == nil {
+		panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.id, to))
+	}
+	r.beginOp()
+	defer r.endOp()
+	m := ib.Message{Meta: wireHdr{From: r.id, Tag: tag}, MetaSize: wireHdrSize, Data: data}
+	var err error
+	if data.Size() <= r.w.cfg.EagerThreshold {
+		err = c.qp.PostSend(m)
+	} else {
+		err = c.qp.Send(r.p, m)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d send to %d: %v", r.id, to, err))
+	}
+}
+
+func match(m inMsg, from, tag int) bool {
+	return m.ctl == ctlNone &&
+		(from == AnySource || m.from == from) &&
+		(tag == AnyTag || m.tag == tag)
+}
+
+// Recv blocks until a message matching (from, tag) arrives — wildcards
+// AnySource/AnyTag — and returns its payload and actual source. A pending
+// suspension is serviced transparently while waiting.
+func (r *Rank) Recv(from, tag int) (payload.Buffer, int) {
+	r.poll()
+	for i, m := range r.unexp {
+		if match(m, from, tag) {
+			r.unexp = append(r.unexp[:i], r.unexp[i+1:]...)
+			return m.data, m.from
+		}
+	}
+	for {
+		m, ok := r.mailbox.Recv(r.p)
+		if !ok {
+			panic(fmt.Sprintf("mpi: rank %d mailbox closed", r.id))
+		}
+		if m.ctl == ctlSuspend {
+			if r.suspendReq {
+				r.doSuspend()
+			}
+			continue
+		}
+		if match(m, from, tag) {
+			r.p.Sleep(calib.MPIPerMessageOverhead)
+			return m.data, m.from
+		}
+		r.unexp = append(r.unexp, m)
+	}
+}
+
+// Sendrecv performs a simultaneous send and receive (the deadlock-free
+// neighbour exchange NPB kernels rely on).
+func (r *Rank) Sendrecv(to, sendTag int, n int64, from, recvTag int) payload.Buffer {
+	r.poll()
+	r.sendSeq++
+	data := payload.Synth(uint64(r.id)<<40^uint64(sendTag)<<20^r.sendSeq, 0, n)
+	return r.SendrecvData(to, sendTag, data, from, recvTag)
+}
+
+// SendrecvData is Sendrecv with an explicit outgoing payload.
+func (r *Rank) SendrecvData(to, sendTag int, data payload.Buffer, from, recvTag int) payload.Buffer {
+	r.poll()
+	sent := sim.NewEvent(r.w.E)
+	r.beginOp()
+	r.p.SpawnChild(fmt.Sprintf("mpi.sendrecv.%d", r.id), func(sp *sim.Proc) {
+		defer r.endOp()
+		defer sent.Fire()
+		sp.Sleep(calib.MPIPerMessageOverhead)
+		r.BytesSent += data.Size()
+		r.MsgsSent++
+		if to == r.id {
+			r.mailbox.TrySend(inMsg{from: r.id, tag: sendTag, data: data})
+			return
+		}
+		c := r.conns[to]
+		if c == nil {
+			panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.id, to))
+		}
+		m := ib.Message{Meta: wireHdr{From: r.id, Tag: sendTag}, MetaSize: wireHdrSize, Data: data}
+		var err error
+		if data.Size() <= r.w.cfg.EagerThreshold {
+			err = c.qp.PostSend(m)
+		} else {
+			err = c.qp.Send(sp, m)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("mpi: rank %d sendrecv to %d: %v", r.id, to, err))
+		}
+	})
+	got, _ := r.Recv(from, recvTag)
+	sent.Wait(r.p)
+	return got
+}
+
+// Compute advances the rank by d of application computation, polling for
+// suspension requests at slice granularity so a migration trigger stalls the
+// job within milliseconds, not a full compute phase.
+func (r *Rank) Compute(d sim.Duration) {
+	r.ComputeTime += d
+	slice := r.w.cfg.ComputeSlice
+	for d > 0 {
+		r.poll()
+		s := slice
+		if s > d {
+			s = d
+		}
+		r.p.Sleep(s)
+		d -= s
+	}
+	r.poll()
+}
+
+// TouchMemory dirties the rank's writable address space, so successive
+// checkpoints capture genuinely different content (gen is typically the
+// iteration number). No simulated time is charged; the work is part of the
+// surrounding Compute.
+func (r *Rank) TouchMemory(gen uint64) {
+	if r.OS == nil {
+		return
+	}
+	for si, s := range r.OS.Segments {
+		if s.Name == "text" {
+			continue
+		}
+		s.Region.Write(0, payload.Synth(uint64(r.id)<<32^gen<<8^uint64(si), 0, s.Region.Size()))
+	}
+}

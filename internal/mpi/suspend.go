@@ -1,0 +1,166 @@
+package mpi
+
+import (
+	"sort"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/sim"
+)
+
+// Suspension is one coordinated suspend/resume cycle across the world — the
+// machinery behind the paper's Phase 1 (Job Stall) and Phase 4 (Resume). The
+// coordinator (the migration framework's Job Manager, or the CR framework)
+// drives it:
+//
+//	s := w.BeginSuspend()       // ranks stop at the next MPI call boundary
+//	s.WaitAllDrained(p)         // no in-flight messages remain anywhere
+//	s.CompleteTeardown()        // revoke cached rkeys, close endpoints
+//	s.WaitAllSuspended(p)       // globally consistent state reached
+//	... checkpoint / migrate ...
+//	s.Resume()                  // rebuild endpoints, PMI re-exchange
+//	s.WaitAllResumed(p)         // application is running again
+type Suspension struct {
+	w           *World
+	teardownCmd *sim.Event
+	resumeCmd   *sim.Event
+	rebuildWG   *sim.WaitGroup
+	cycles      []*suspendCycle
+}
+
+// suspendCycle is one rank's view of a Suspension.
+type suspendCycle struct {
+	sus       *Suspension
+	drained   *sim.Event
+	suspended *sim.Event
+	resumed   *sim.Event
+}
+
+// BeginSuspend asks every active rank to suspend at its next MPI call
+// boundary (compute loops poll at slice granularity; blocked receives are
+// interrupted by a control message, the C/R-thread mechanism in MVAPICH2).
+func (w *World) BeginSuspend() *Suspension {
+	s := &Suspension{
+		w:           w,
+		teardownCmd: sim.NewEvent(w.E),
+		resumeCmd:   sim.NewEvent(w.E),
+		rebuildWG:   sim.NewWaitGroup(w.E),
+	}
+	for _, r := range w.ranks {
+		if r.finished {
+			continue
+		}
+		if r.cycle != nil {
+			panic("mpi: overlapping suspensions")
+		}
+		cy := &suspendCycle{
+			sus:       s,
+			drained:   sim.NewEvent(w.E),
+			suspended: sim.NewEvent(w.E),
+			resumed:   sim.NewEvent(w.E),
+		}
+		r.cycle = cy
+		r.suspendReq = true
+		r.mailbox.TrySend(inMsg{ctl: ctlSuspend})
+		s.cycles = append(s.cycles, cy)
+	}
+	s.rebuildWG.Add(len(s.cycles))
+	return s
+}
+
+// WaitAllDrained blocks until every rank has flushed its in-flight traffic
+// and paused (end of the drain step of Phase 1).
+func (s *Suspension) WaitAllDrained(p *sim.Proc) {
+	for _, c := range s.cycles {
+		c.drained.Wait(p)
+	}
+}
+
+// CompleteTeardown lets the drained ranks tear down their communication
+// endpoints.
+func (s *Suspension) CompleteTeardown() { s.teardownCmd.Fire() }
+
+// WaitAllSuspended blocks until every rank has released its endpoints — the
+// globally consistent state in which processes may be checkpointed.
+func (s *Suspension) WaitAllSuspended(p *sim.Proc) {
+	for _, c := range s.cycles {
+		c.suspended.Wait(p)
+	}
+}
+
+// Resume lets ranks rebuild endpoints and continue execution.
+func (s *Suspension) Resume() { s.resumeCmd.Fire() }
+
+// WaitAllResumed blocks until every rank is running again (end of Phase 4).
+func (s *Suspension) WaitAllResumed(p *sim.Proc) {
+	for _, c := range s.cycles {
+		c.resumed.Wait(p)
+	}
+}
+
+// sortedPeers returns the rank's connection peers in ascending order, for
+// deterministic iteration.
+func (r *Rank) sortedPeers() []int {
+	peers := make([]int, 0, len(r.conns))
+	for p := range r.conns {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// doSuspend executes the rank-local side of the suspension protocol. It is
+// invoked at MPI call boundaries (poll) or from a blocked receive when the
+// control message arrives.
+func (r *Rank) doSuspend() {
+	cy := r.cycle
+	if cy == nil {
+		r.suspendReq = false
+		return
+	}
+	r.Suspensions++
+	// Let helper operations (Sendrecv children) finish: their wire work is
+	// part of the in-flight state being drained.
+	r.opsIdle.Wait(r.p)
+
+	// Drain: one flush-marker round per connection, then wait until the
+	// endpoint has nothing on the wire.
+	for _, peer := range r.sortedPeers() {
+		c := r.conns[peer]
+		r.p.Sleep(calib.DrainRoundCost)
+		c.qp.WaitIdle(r.p)
+	}
+	cy.drained.Fire()
+	cy.sus.teardownCmd.Wait(r.p)
+
+	// Teardown: revoke the pinned buffer (invalidating the remote key the
+	// peer cached — InfiniBand state that must not survive a checkpoint) and
+	// close the endpoint.
+	for _, peer := range r.sortedPeers() {
+		c := r.conns[peer]
+		c.mr.Deregister()
+		c.qp.Close()
+		r.p.Sleep(calib.TeardownPerConn)
+	}
+	r.conns = make(map[int]*conn)
+	cy.suspended.Fire()
+	cy.sus.resumeCmd.Wait(r.p)
+
+	// Rebuild: the lower rank of each pair re-establishes the connection
+	// (QPs, pinned buffers, fresh remote keys) from the ranks' *current*
+	// nodes — a migrated rank reconnects from its new home.
+	for _, other := range r.w.ranks {
+		if other.id > r.id && !other.finished {
+			r.w.connectPair(r.p, r, other)
+		}
+	}
+	// Endpoint information is re-exchanged through the central job-launch
+	// coordinator, which serializes the per-rank updates.
+	r.w.pmi.Hold(r.p, 1, r.w.cfg.PMIExchangePerRank)
+	cy.sus.rebuildWG.Done()
+	cy.sus.rebuildWG.Wait(r.p)
+	r.p.Sleep(calib.MigrationBarrierCost)
+
+	r.suspendReq = false
+	r.cycle = nil
+	cy.resumed.Fire()
+}

@@ -1,0 +1,208 @@
+// Package mpi implements a miniature MPI runtime over the simulated
+// InfiniBand fabric, reproducing the pieces of MVAPICH2 that the paper's
+// migration framework depends on:
+//
+//   - ranks with tagged point-to-point messaging (eager for small messages,
+//     synchronous rendezvous for large ones) over per-rank-pair reliable
+//     connections, each with a registered rendezvous buffer whose remote key
+//     the peer caches;
+//   - collectives (Barrier, Bcast, Reduce, Allreduce) built on p2p;
+//   - the checkpoint/restart suspension protocol (the paper's Phase 1 and
+//     Phase 4): on request, every rank drains its in-flight messages, tears
+//     down its communication endpoints (revoking cached remote keys), waits
+//     for the framework to act, and then rebuilds endpoints — including a
+//     serialized endpoint-information re-exchange through the job-launch
+//     coordinator — before resuming.
+//
+// A migrated rank is rebound to its new node between suspension and resume;
+// its connections are rebuilt from the new node's HCA automatically.
+package mpi
+
+import (
+	"fmt"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/ib"
+	"ibmig/internal/proc"
+	"ibmig/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config tunes the runtime; zero values use calibrated defaults.
+type Config struct {
+	EagerThreshold     int64
+	RendezvousBufSize  int64
+	PMIExchangePerRank sim.Duration
+	ComputeSlice       sim.Duration // polling granularity inside Compute
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = calib.EagerThreshold
+	}
+	if c.RendezvousBufSize == 0 {
+		c.RendezvousBufSize = calib.RendezvousBufSize
+	}
+	if c.PMIExchangePerRank == 0 {
+		c.PMIExchangePerRank = calib.PMIExchangePerRank
+	}
+	if c.ComputeSlice == 0 {
+		c.ComputeSlice = 10 * 1e6 // 10ms
+	}
+	return c
+}
+
+// World is one MPI job: a set of ranks placed on nodes.
+type World struct {
+	E      *sim.Engine
+	fabric *ib.Fabric
+	cfg    Config
+	ranks  []*Rank
+
+	ready *sim.Event
+	done  *sim.Event
+	pmi   *sim.Resource // central job-launch coordinator (endpoint exchange)
+
+	running int
+}
+
+// NewWorld creates a world with one rank per placement entry; placement[i] is
+// the node name hosting rank i. Every node must have an HCA on the fabric.
+func NewWorld(e *sim.Engine, fabric *ib.Fabric, placement []string, cfg Config) *World {
+	w := &World{
+		E:      e,
+		fabric: fabric,
+		cfg:    cfg.withDefaults(),
+		ready:  sim.NewEvent(e),
+		done:   sim.NewEvent(e),
+		pmi:    sim.NewResource(e, "mpi.pmi", 1),
+	}
+	for i, node := range placement {
+		if fabric.HCA(node) == nil {
+			panic("mpi: no HCA for node " + node)
+		}
+		w.ranks = append(w.ranks, &Rank{
+			w:       w,
+			id:      i,
+			node:    node,
+			mailbox: sim.NewQueue[inMsg](e, fmt.Sprintf("mpi.mbox.%d", i), 0),
+			conns:   make(map[int]*conn),
+			opsIdle: sim.NewGate(e, true),
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Ranks returns all ranks in rank order.
+func (w *World) Ranks() []*Rank { return w.ranks }
+
+// RanksOn returns the ranks currently placed on the given node, in rank
+// order.
+func (w *World) RanksOn(node string) []*Rank {
+	var out []*Rank
+	for _, r := range w.ranks {
+		if r.node == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Start builds the full connection mesh and launches app on every rank. The
+// Ready event fires when the mesh is up (immediately before rank 0 starts);
+// Done fires when every rank's app function has returned.
+func (w *World) Start(app func(r *Rank)) {
+	w.running = len(w.ranks)
+	w.E.Spawn("mpi.launch", func(p *sim.Proc) {
+		for i := range w.ranks {
+			for j := i + 1; j < len(w.ranks); j++ {
+				w.connectPair(p, w.ranks[i], w.ranks[j])
+			}
+		}
+		w.ready.Fire()
+		for _, r := range w.ranks {
+			r := r
+			w.E.Spawn(fmt.Sprintf("mpi.rank.%d", r.id), func(rp *sim.Proc) {
+				r.p = rp
+				app(r)
+				// A suspension requested as the app exits must still be
+				// honoured so the coordinator is not left waiting.
+				for r.suspendReq {
+					r.doSuspend()
+				}
+				r.finished = true
+				w.running--
+				if w.running == 0 {
+					w.done.Fire()
+				}
+			})
+		}
+	})
+}
+
+// WaitReady blocks until the job is launched.
+func (w *World) WaitReady(p *sim.Proc) { w.ready.Wait(p) }
+
+// WaitDone blocks until all ranks have finished.
+func (w *World) WaitDone(p *sim.Proc) { w.done.Wait(p) }
+
+// Done reports whether all ranks have finished.
+func (w *World) Done() bool { return w.done.Fired() }
+
+// Shutdown closes all connections so pump daemons exit.
+func (w *World) Shutdown() {
+	for _, r := range w.ranks {
+		for _, c := range r.conns {
+			c.qp.Close()
+		}
+		r.conns = make(map[int]*conn)
+	}
+}
+
+// Rebind moves a rank to a new node (after its process image has been
+// restarted there) and attaches the restored OS process. Must only be called
+// while the world is suspended.
+func (w *World) Rebind(rank int, node string, os *proc.Process) {
+	r := w.ranks[rank]
+	r.node = node
+	if os != nil {
+		r.OS = os
+	}
+}
+
+// BytesSent returns the total MPI payload bytes sent by all ranks.
+func (w *World) BytesSent() int64 {
+	var n int64
+	for _, r := range w.ranks {
+		n += r.BytesSent
+	}
+	return n
+}
+
+// connectPair establishes the reliable connection between two ranks: QPs on
+// their nodes' HCAs, a registered rendezvous buffer on each side, mutual
+// remote-key caching, and receive pumps feeding each rank's mailbox. The
+// calling process pays the setup costs.
+func (w *World) connectPair(p *sim.Proc, a, b *Rank) {
+	ha, hb := w.fabric.HCA(a.node), w.fabric.HCA(b.node)
+	qa, qb := ib.ConnectQP(p, ha, hb)
+	mra := ha.RegisterMR(p, newRendezvousRegion(w.cfg.RendezvousBufSize, a.id, b.id))
+	mrb := hb.RegisterMR(p, newRendezvousRegion(w.cfg.RendezvousBufSize, b.id, a.id))
+	ca := &conn{peer: b.id, qp: qa, mr: mra, peerRKey: mrb.RKey()}
+	cb := &conn{peer: a.id, qp: qb, mr: mrb, peerRKey: mra.RKey()}
+	a.conns[b.id] = ca
+	b.conns[a.id] = cb
+	a.startPump(ca)
+	b.startPump(cb)
+}

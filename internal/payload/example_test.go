@@ -1,0 +1,39 @@
+package payload_test
+
+import (
+	"fmt"
+
+	"ibmig/internal/payload"
+)
+
+// A multi-gigabyte checkpoint stream can be represented, sliced and
+// checksummed without materializing it.
+func ExampleSynth() {
+	image := payload.Synth(42, 0, 2<<30) // 2 GiB of deterministic content
+	chunk := image.Slice(1<<30, 1<<20)   // a 1 MiB chunk in the middle
+
+	var reassembled payload.Buffer
+	reassembled.AppendBuffer(image.Slice(0, 1<<30))
+	reassembled.AppendBuffer(chunk)
+	reassembled.AppendBuffer(image.Slice(1<<30+1<<20, 1<<30-1<<20))
+
+	fmt.Println("sizes equal:", reassembled.Size() == image.Size())
+	fmt.Println("checksums equal:", reassembled.Checksum() == image.Checksum())
+	// Output:
+	// sizes equal: true
+	// checksums equal: true
+}
+
+// Real bytes and synthetic references mix transparently in one buffer.
+func ExampleFromBytes() {
+	var stream payload.Buffer
+	stream.AppendBuffer(payload.FromBytes([]byte("HDR1")))   // a real header
+	stream.AppendBuffer(payload.Synth(7, 0, 4096))           // page content
+	stream.AppendBuffer(payload.FromBytes([]byte("FOOTER"))) // a real trailer
+
+	header := stream.Slice(0, 4).Materialize()
+	footer := stream.Slice(stream.Size()-6, 6).Materialize()
+	fmt.Printf("%s ... %s (%d bytes total)\n", header, footer, stream.Size())
+	// Output:
+	// HDR1 ... FOOTER (4106 bytes total)
+}

@@ -1,0 +1,171 @@
+package payload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	b := FromBytes(data)
+	if b.Size() != int64(len(data)) {
+		t.Fatalf("size = %d", b.Size())
+	}
+	if !bytes.Equal(b.Materialize(), data) {
+		t.Fatal("materialize mismatch")
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := Synth(7, 0, 1024).Materialize()
+	b := Synth(7, 0, 1024).Materialize()
+	c := Synth(8, 0, 1024).Materialize()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different content")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical content")
+	}
+}
+
+func TestSynthOffsetConsistency(t *testing.T) {
+	// Content at stream position p must not depend on where the part starts.
+	whole := Synth(3, 0, 4096).Materialize()
+	tail := Synth(3, 1000, 3096).Materialize()
+	if !bytes.Equal(whole[1000:], tail) {
+		t.Fatal("offset synthetic content inconsistent with stream")
+	}
+}
+
+func TestSliceAcrossParts(t *testing.T) {
+	var b Buffer
+	b.AppendBuffer(FromBytes([]byte("hello ")))
+	b.AppendBuffer(Synth(1, 0, 100))
+	b.AppendBuffer(FromBytes([]byte(" world")))
+	whole := b.Materialize()
+	for _, tc := range []struct{ off, n int64 }{
+		{0, 0}, {0, 6}, {3, 10}, {6, 100}, {50, 62}, {0, 112}, {111, 1},
+	} {
+		got := b.Slice(tc.off, tc.n).Materialize()
+		want := whole[tc.off : tc.off+tc.n]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("slice(%d,%d) mismatch", tc.off, tc.n)
+		}
+	}
+}
+
+func TestChecksumMatchesMaterialized(t *testing.T) {
+	b := Synth(11, 5, 300000)
+	m := FromBytes(b.Materialize())
+	if b.Checksum() != m.Checksum() {
+		t.Fatal("synthetic checksum != materialized checksum")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	data := Synth(2, 0, 10000).Materialize()
+	orig := FromBytes(append([]byte(nil), data...)).Checksum()
+	data[4321] ^= 1
+	if FromBytes(data).Checksum() == orig {
+		t.Fatal("checksum failed to detect single-bit flip")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Synth(5, 0, 200000)
+	b := FromBytes(a.Materialize())
+	if !a.Equal(b) {
+		t.Fatal("equal content reported unequal")
+	}
+	c := Synth(5, 1, 200000)
+	if a.Equal(c) {
+		t.Fatal("shifted content reported equal")
+	}
+	if a.Equal(Synth(5, 0, 199999)) {
+		t.Fatal("different sizes reported equal")
+	}
+}
+
+func TestEmptyBuffer(t *testing.T) {
+	var b Buffer
+	if b.Size() != 0 || b.Checksum() != FromBytes(nil).Checksum() {
+		t.Fatal("empty buffer misbehaves")
+	}
+	if got := b.Slice(0, 0); got.Size() != 0 {
+		t.Fatal("empty slice misbehaves")
+	}
+}
+
+func TestSlicePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synth(1, 0, 10).Slice(5, 6)
+}
+
+// Property: slicing at any split point and re-concatenating preserves content.
+func TestQuickSplitConcat(t *testing.T) {
+	f := func(seed uint64, size uint16, cut uint16) bool {
+		n := int64(size)%5000 + 1
+		c := int64(cut) % (n + 1)
+		b := Synth(seed, 13, n)
+		var joined Buffer
+		joined.AppendBuffer(b.Slice(0, c))
+		joined.AppendBuffer(b.Slice(c, n-c))
+		return joined.Equal(b) && joined.Checksum() == b.Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chunking a buffer into fixed-size chunks conserves total size and
+// content for any chunk size.
+func TestQuickChunkingConservation(t *testing.T) {
+	f := func(seed uint64, size uint16, chunkSize uint8) bool {
+		n := int64(size)%20000 + 1
+		cs := int64(chunkSize)%512 + 1
+		b := Synth(seed, 0, n)
+		var rebuilt Buffer
+		for off := int64(0); off < n; off += cs {
+			take := cs
+			if off+take > n {
+				take = n - off
+			}
+			rebuilt.AppendBuffer(b.Slice(off, take))
+		}
+		return rebuilt.Size() == n && rebuilt.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed real/synthetic buffers behave identically to their fully
+// materialized equivalents under slicing.
+func TestQuickMixedParts(t *testing.T) {
+	f := func(seed uint64, a, b uint8, off, n uint16) bool {
+		var buf Buffer
+		buf.AppendBuffer(Synth(seed, 0, int64(a)+1))
+		buf.AppendBuffer(FromBytes(Synth(seed+1, 0, int64(b)+1).Materialize()))
+		buf.AppendBuffer(Synth(seed+2, 7, 64))
+		whole := buf.Materialize()
+		o := int64(off) % buf.Size()
+		m := int64(n) % (buf.Size() - o + 1)
+		return bytes.Equal(buf.Slice(o, m).Materialize(), whole[o:o+m])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChecksumSynthetic1MB(b *testing.B) {
+	buf := Synth(1, 0, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		_ = buf.Checksum()
+	}
+}

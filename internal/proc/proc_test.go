@@ -1,0 +1,80 @@
+package proc
+
+import (
+	"testing"
+)
+
+func specs() []SegmentSpec {
+	return []SegmentSpec{
+		{Name: "text", VAddr: 0x400000, Size: 1 << 20, Seed: 1},
+		{Name: "heap", VAddr: 0x20000000, Size: 4 << 20, Seed: 2},
+		{Name: "stack", VAddr: 0x7ff0000000, Size: 1 << 20, Seed: 3},
+	}
+}
+
+func TestSpawnAssignsUniquePIDs(t *testing.T) {
+	tab := NewTable("n0")
+	a := tab.Spawn("app", 0, specs())
+	b := tab.Spawn("app", 1, specs())
+	if a.PID == b.PID {
+		t.Fatal("duplicate PIDs")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("table len = %d", tab.Len())
+	}
+	if tab.Get(a.PID) != a || tab.Get(b.PID) != b {
+		t.Fatal("lookup broken")
+	}
+}
+
+func TestImageSizeSumsSegments(t *testing.T) {
+	tab := NewTable("n0")
+	p := tab.Spawn("app", 0, specs())
+	if p.ImageSize() != 6<<20 {
+		t.Fatalf("image size = %d, want 6MB", p.ImageSize())
+	}
+}
+
+func TestChecksumSensitiveToContentAndOrder(t *testing.T) {
+	tab := NewTable("n0")
+	a := tab.Spawn("app", 0, specs())
+	b := tab.Spawn("app", 0, specs())
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical layouts differ")
+	}
+	s := specs()
+	s[0].Seed = 99
+	c := tab.Spawn("app", 0, s)
+	if a.Checksum() == c.Checksum() {
+		t.Fatal("content change not detected")
+	}
+}
+
+func TestSegmentLookup(t *testing.T) {
+	tab := NewTable("n0")
+	p := tab.Spawn("app", 0, specs())
+	if p.Segment("heap") == nil || p.Segment("heap").VAddr != 0x20000000 {
+		t.Fatal("heap lookup failed")
+	}
+	if p.Segment("nope") != nil {
+		t.Fatal("phantom segment")
+	}
+}
+
+func TestAdoptPreservesPIDAndRebinds(t *testing.T) {
+	src := NewTable("a")
+	dst := NewTable("b")
+	p := src.Spawn("app", 3, specs())
+	src.Remove(p.PID)
+	if err := dst.Adopt(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Node != "b" || dst.Get(p.PID) != p {
+		t.Fatal("adopt did not rebind")
+	}
+	// Second adopt with the same PID fails.
+	q := New(p.PID, "app", 4, "x", specs())
+	if err := dst.Adopt(q); err == nil {
+		t.Fatal("duplicate PID adopted")
+	}
+}

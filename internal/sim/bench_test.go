@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: how many
+// timer events the kernel retires per wall second.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcessPingPong measures the cost of a queue handoff between two
+// processes (two context switches per op).
+func BenchmarkProcessPingPong(b *testing.B) {
+	e := NewEngine(1)
+	q1 := NewQueue[int](e, "q1", 0)
+	q2 := NewQueue[int](e, "q2", 0)
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Send(p, i)
+			q2.Recv(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q1.Recv(p)
+			q2.Send(p, i)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyBlockedProcs measures wakeup fan-out with 1000 waiters.
+func BenchmarkManyBlockedProcs(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		ev := NewEvent(e)
+		for w := 0; w < 1000; w++ {
+			e.Spawn("w", func(p *Proc) { ev.Wait(p) })
+		}
+		e.After(time.Microsecond, ev.Fire)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

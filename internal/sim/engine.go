@@ -1,0 +1,310 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives "processes" — ordinary Go functions running in their own
+// goroutines — in strict cooperative lockstep: exactly one process executes at
+// a time, and control returns to the engine whenever a process blocks on a
+// simulated operation (Sleep, Event.Wait, Queue.Recv, Resource.Acquire, ...).
+// Virtual time only advances between events, so simulations are fully
+// deterministic: the same configuration and seed produce the same event trace
+// and the same virtual timings on every run, regardless of GOMAXPROCS.
+//
+// All higher layers of this repository (the InfiniBand fabric, the GigE
+// network, the FTB backplane, disks, file systems, the MPI runtime, and the
+// migration framework itself) are built on this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is re-exported from package time; all simulated durations use it.
+type Duration = time.Duration
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns the time as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Sub returns the duration between two points in virtual time.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// wake reasons delivered to a parked process.
+const (
+	wakeSignal  = iota // the condition the process waited on was met
+	wakeTimeout        // a WaitTimeout/RecvTimeout deadline expired
+	wakeKill           // engine shutdown: unwind the process goroutine
+)
+
+// killSentinel is the panic value used to unwind killed processes.
+type killSentinel struct{}
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a discrete-event simulation engine. Create one with NewEngine,
+// add processes with Spawn, and execute with Run. An Engine must not be used
+// from multiple OS threads concurrently; all concurrency is virtual.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{} // handshake: process -> engine on yield
+	rng    *rand.Rand
+	seed   int64
+
+	live    int // processes spawned and not yet finished
+	nextPID int
+	procs   map[int]*Proc // live processes, for deadlock reporting
+
+	tracer  Tracer
+	failure error // first process panic, aborts the run
+	stopped bool
+}
+
+// NewEngine returns an engine with the given RNG seed. The seed fully
+// determines every random choice made anywhere in the simulation.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		procs:  make(map[int]*Proc),
+		tracer: nopTracer{},
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer installs a trace sink. Pass nil to disable tracing.
+func (e *Engine) SetTracer(t Tracer) {
+	if t == nil {
+		t = nopTracer{}
+	}
+	e.tracer = t
+}
+
+// Trace emits a trace record at the current virtual time.
+func (e *Engine) Trace(kind, who, detail string) {
+	e.tracer.Trace(e.now, kind, who, detail)
+}
+
+// schedule enqueues fn to run at time t (>= now). Events at equal times fire
+// in scheduling order.
+func (e *Engine) schedule(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run after duration d of virtual time. It may be
+// called from process context or from another scheduled callback. fn runs in
+// engine context and must not block on simulated operations; to do blocking
+// work, have fn spawn a process.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now.Add(d), fn)
+}
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. It may be called before Run, from process context, or
+// from a scheduled callback.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		e:    e,
+		name: name,
+		id:   e.nextPID,
+		wake: make(chan int),
+	}
+	e.live++
+	e.procs[p.id] = p
+	e.schedule(e.now, func() { e.start(p, fn) })
+	return p
+}
+
+func (e *Engine) start(p *Proc, fn func(*Proc)) {
+	p.started = true
+	e.tracer.Trace(e.now, "proc.start", p.name, "")
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killSentinel); !killed && e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			e.live--
+			delete(e.procs, p.id)
+			e.tracer.Trace(e.now, "proc.end", p.name, "")
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-e.parked
+}
+
+// resume wakes process p with the given reason if its wait token still
+// matches; stale wakeups (e.g. a timeout firing after the event it guarded)
+// are discarded.
+func (e *Engine) resume(p *Proc, token uint64, reason int) {
+	if p.done || p.token != token {
+		return
+	}
+	p.wake <- reason
+	<-e.parked
+}
+
+// scheduleResume schedules a wakeup of p at time t, bound to p's current wait
+// token.
+func (e *Engine) scheduleResume(p *Proc, t Time, reason int) {
+	token := p.token
+	e.schedule(t, func() { e.resume(p, token, reason) })
+}
+
+// wakeNow schedules an immediate (current-time) wakeup of p.
+func (e *Engine) wakeNow(p *Proc, reason int) {
+	e.scheduleResume(p, e.now, reason)
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked on conditions that can no longer occur.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: reason" for each blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %v", d.At, len(d.Blocked), d.Blocked)
+}
+
+// Run executes events until the queue is empty or a process panics. It
+// returns a *DeadlockError if processes remain blocked when the queue drains,
+// or the panic (wrapped) if a process failed.
+func (e *Engine) Run() error {
+	return e.run(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline. Processes blocked at
+// the deadline are not treated as deadlocked; the simulation can be resumed
+// with another Run/RunUntil call.
+func (e *Engine) RunUntil(deadline Time) error {
+	return e.run(deadline)
+}
+
+func (e *Engine) run(deadline Time) error {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		if deadline >= 0 && e.events[0].t > deadline {
+			e.now = deadline
+			return e.failure
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		ev.fn()
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if deadline < 0 && e.live > 0 && !e.stopped {
+		return e.deadlock()
+	}
+	return nil
+}
+
+// Stop halts the run loop after the current event; remaining events stay
+// queued and the run can be resumed.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockReason))
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{At: e.now, Blocked: blocked}
+}
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished.
+func (e *Engine) LiveProcs() int { return e.live }
+
+// Shutdown unwinds every still-blocked process goroutine. Call it once the
+// simulation's result has been extracted (after Run/RunUntil/Stop) so that
+// perpetual daemons — network pumps, backplane agents — do not leak
+// goroutines across repeated simulations in one Go process. The engine must
+// not be used afterwards.
+func (e *Engine) Shutdown() {
+	for e.live > 0 {
+		// Pick the lowest-id live process (deterministic order).
+		var victim *Proc
+		for _, p := range e.procs {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if !victim.started {
+			// Its start event never fired (the run stopped first); there is
+			// no goroutine to unwind.
+			victim.done = true
+			e.live--
+			delete(e.procs, victim.id)
+			continue
+		}
+		victim.wake <- wakeKill
+		<-e.parked
+	}
+}

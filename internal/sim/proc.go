@@ -1,0 +1,83 @@
+package sim
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with all other processes under control of the Engine. All methods on Proc
+// (and on the synchronization primitives that take a *Proc) must be called
+// only from within the process's own function.
+type Proc struct {
+	e    *Engine
+	name string
+	id   int
+	wake chan int
+
+	// token guards against stale wakeups. It is incremented every time the
+	// process wakes; resume closures capture the token current at scheduling
+	// time and are dropped if it no longer matches.
+	token uint64
+
+	started     bool
+	done        bool
+	blockReason string
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id assigned at Spawn.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park yields control to the engine until a wakeup arrives, returning the
+// wake reason.
+func (p *Proc) park(reason string) int {
+	p.blockReason = reason
+	p.e.parked <- struct{}{}
+	r := <-p.wake
+	if r == wakeKill {
+		panic(killSentinel{})
+	}
+	p.token++
+	p.blockReason = ""
+	return r
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep yields to the scheduler so that other
+		// same-time events can interleave deterministically.
+		d = 0
+	}
+	p.e.scheduleResume(p, p.e.now.Add(d), wakeSignal)
+	p.park("sleep")
+}
+
+// Yield gives other same-time events a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// SpawnChild spawns another process from within this one.
+func (p *Proc) SpawnChild(name string, fn func(*Proc)) *Proc {
+	return p.e.Spawn(name, fn)
+}
+
+// Trace emits a trace record attributed to this process.
+func (p *Proc) Trace(kind, detail string) { p.e.tracer.Trace(p.e.now, kind, p.name, detail) }
+
+// waiter identifies a parked process together with the wait token that was
+// current when it blocked.
+type waiter struct {
+	p     *Proc
+	token uint64
+}
+
+func (w waiter) wake(reason int) {
+	e := w.p.e
+	tok := w.token
+	p := w.p
+	e.schedule(e.now, func() { e.resume(p, tok, reason) })
+}

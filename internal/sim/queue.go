@@ -1,0 +1,128 @@
+package sim
+
+// Queue is a FIFO message queue in virtual time, analogous to a Go channel.
+// A capacity of 0 means unbounded. Queues are the basic communication
+// primitive between simulated processes.
+type Queue[T any] struct {
+	e      *Engine
+	name   string
+	items  []T
+	cap    int
+	recvQ  []waiter
+	sendQ  []waiter
+	closed bool
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](e *Engine, name string, capacity int) *Queue[T] {
+	return &Queue[T]{e: e, name: name, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Close marks the queue closed and wakes all blocked receivers and senders.
+// Sending on a closed queue panics; receiving drains remaining items and then
+// returns ok=false.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.recvQ {
+		w.wake(wakeSignal)
+	}
+	q.recvQ = nil
+	for _, w := range q.sendQ {
+		w.wake(wakeSignal)
+	}
+	q.sendQ = nil
+}
+
+// Send enqueues v, blocking while the queue is at capacity.
+func (q *Queue[T]) Send(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+		q.sendQ = append(q.sendQ, waiter{p, p.token})
+		p.park("queue.send:" + q.name)
+	}
+	if q.closed {
+		panic("sim: send on closed queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	q.wakeOneRecv()
+}
+
+// TrySend enqueues v if the queue has room, reporting success.
+func (q *Queue[T]) TrySend(v T) bool {
+	if q.closed {
+		panic("sim: send on closed queue " + q.name)
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.wakeOneRecv()
+	return true
+}
+
+// Recv dequeues the oldest item, blocking while the queue is empty. ok is
+// false if the queue was closed and drained.
+func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.recvQ = append(q.recvQ, waiter{p, p.token})
+		p.park("queue.recv:" + q.name)
+	}
+	return q.pop(), true
+}
+
+// RecvTimeout dequeues the oldest item, giving up after d. ok is false on
+// timeout or on a closed, drained queue.
+func (q *Queue[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := p.e.now.Add(d)
+	for len(q.items) == 0 {
+		if q.closed || p.e.now >= deadline {
+			return v, false
+		}
+		q.recvQ = append(q.recvQ, waiter{p, p.token})
+		p.e.scheduleResume(p, deadline, wakeTimeout)
+		if p.park("queue.recv-timeout:"+q.name) == wakeTimeout && len(q.items) == 0 {
+			return v, false
+		}
+	}
+	return q.pop(), true
+}
+
+// TryRecv dequeues the oldest item without blocking, reporting success.
+func (q *Queue[T]) TryRecv() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.pop(), true
+}
+
+func (q *Queue[T]) pop() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if len(q.sendQ) > 0 {
+		w := q.sendQ[0]
+		q.sendQ = q.sendQ[1:]
+		w.wake(wakeSignal)
+	}
+	return v
+}
+
+func (q *Queue[T]) wakeOneRecv() {
+	if len(q.recvQ) > 0 {
+		w := q.recvQ[0]
+		q.recvQ = q.recvQ[1:]
+		w.wake(wakeSignal)
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+// Resource is a FIFO counting semaphore over virtual time, used to model
+// contended devices (link serialization, disk heads, CPU slots). Acquisition
+// order is strictly first-come-first-served: a large request at the head of
+// the queue blocks later small requests, which models store-and-forward
+// devices faithfully.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int64
+	used     int64
+	waitq    []resWaiter
+}
+
+type resWaiter struct {
+	w waiter
+	n int64
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{e: e, name: name, capacity: capacity}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the currently acquired amount.
+func (r *Resource) InUse() int64 { return r.used }
+
+// Waiting returns the number of queued acquirers.
+func (r *Resource) Waiting() int { return len(r.waitq) }
+
+// Acquire blocks p until n units are available and p is at the head of the
+// wait queue. n must be in (0, capacity].
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire amount on " + r.name)
+	}
+	if len(r.waitq) == 0 && r.used+n <= r.capacity {
+		r.used += n
+		return
+	}
+	r.waitq = append(r.waitq, resWaiter{waiter{p, p.token}, n})
+	for {
+		p.park("resource.acquire:" + r.name)
+		if len(r.waitq) > 0 && r.waitq[0].w.p == p && r.used+n <= r.capacity {
+			r.waitq = r.waitq[1:]
+			r.used += n
+			r.admit()
+			return
+		}
+		// Spurious wake (not at head, or capacity taken): re-register token.
+		for i := range r.waitq {
+			if r.waitq[i].w.p == p {
+				r.waitq[i].w.token = p.token
+			}
+		}
+	}
+}
+
+// Release returns n units and admits queued acquirers in FIFO order.
+func (r *Resource) Release(n int64) {
+	if n <= 0 || n > r.used {
+		panic("sim: invalid release amount on " + r.name)
+	}
+	r.used -= n
+	r.admit()
+}
+
+// admit wakes the queue head if its request now fits.
+func (r *Resource) admit() {
+	if len(r.waitq) > 0 && r.used+r.waitq[0].n <= r.capacity {
+		r.waitq[0].w.wake(wakeSignal)
+	}
+}
+
+// Hold acquires n units, sleeps for d, and releases them — the common pattern
+// for occupying a device for a service time.
+func (r *Resource) Hold(p *Proc, n int64, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// WaitGroup tracks completion of a set of simulated activities.
+type WaitGroup struct {
+	e       *Engine
+	count   int
+	waiters []waiter
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{e: e} }
+
+// Add increments the outstanding-activity count by n (n may be negative, as
+// with sync.WaitGroup semantics Done is Add(-1)).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			w.wake(wakeSignal)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the outstanding count.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks p until the count reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, waiter{p, p.token})
+		p.park("waitgroup.wait")
+	}
+}

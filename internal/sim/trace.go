@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives a record for every traced simulation event. Implementations
+// must be cheap; tracing is on the hot path.
+type Tracer interface {
+	Trace(t Time, kind, who, detail string)
+}
+
+type nopTracer struct{}
+
+func (nopTracer) Trace(Time, string, string, string) {}
+
+// Record is one captured trace entry.
+type Record struct {
+	T      Time
+	Kind   string
+	Who    string
+	Detail string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%12.6fms %-18s %-24s %s", r.T.Milliseconds(), r.Kind, r.Who, r.Detail)
+}
+
+// Recorder is a Tracer that captures all records in memory, for tests and
+// determinism checks.
+type Recorder struct {
+	Records []Record
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(t Time, kind, who, detail string) {
+	r.Records = append(r.Records, Record{t, kind, who, detail})
+}
+
+// Dump writes all records to w.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, rec := range r.Records {
+		fmt.Fprintln(w, rec)
+	}
+}
+
+// Writer is a Tracer that streams records to an io.Writer as they occur.
+type Writer struct {
+	W io.Writer
+	// Filter, if non-nil, drops records for which it returns false.
+	Filter func(kind string) bool
+}
+
+// Trace implements Tracer.
+func (t *Writer) Trace(tm Time, kind, who, detail string) {
+	if t.Filter != nil && !t.Filter(kind) {
+		return
+	}
+	fmt.Fprintln(t.W, Record{tm, kind, who, detail})
+}

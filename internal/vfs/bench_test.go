@@ -1,0 +1,54 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+
+	"ibmig/internal/ib"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// BenchmarkLocalCheckpointPattern measures the write+sync pattern of a
+// checkpoint (8 MB per iteration) on a local file system.
+func BenchmarkLocalCheckpointPattern(b *testing.B) {
+	e := sim.NewEngine(1)
+	fs := NewFileSystem(e, "n0", NewDisk(e, "d0", DiskConfig{}), FSConfig{})
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			f := fs.Create(p, fmt.Sprintf("ckpt.%d", i%4))
+			f.Append(p, payload.Synth(uint64(i), 0, 8<<20))
+			f.Sync(p)
+			f.Close()
+		}
+	})
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPVFSStripedWrite measures an 8 MB striped write over 4 servers.
+func BenchmarkPVFSStripedWrite(b *testing.B) {
+	e := sim.NewEngine(1)
+	fab := ib.NewFabric(e, ib.Config{})
+	servers := []string{"io0", "io1", "io2", "io3"}
+	for _, s := range servers {
+		fab.AttachHCA(s)
+	}
+	fab.AttachHCA("client")
+	pv := NewPVFS(e, fab, servers, 0, DiskConfig{})
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			h := pv.Create(p, "client", fmt.Sprintf("f%d", i%4))
+			h.Append(p, payload.Synth(uint64(i), 0, 8<<20))
+			h.Close()
+		}
+	})
+	b.SetBytes(8 << 20)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

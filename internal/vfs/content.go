@@ -1,0 +1,55 @@
+package vfs
+
+import (
+	"fmt"
+
+	"ibmig/internal/payload"
+)
+
+// holeSeed generates the deterministic filler for unwritten file ranges.
+const holeSeed = 0x484f4c45 // "HOLE"
+
+// content is a growable byte store backed by payload buffers, shared by the
+// local and parallel file implementations.
+type content struct {
+	size int64
+	data payload.Buffer
+}
+
+// writeAt splices b into [off, off+b.Size()), growing the store (padding any
+// gap with deterministic filler) as needed.
+func (c *content) writeAt(off int64, b payload.Buffer) {
+	if off < 0 {
+		panic("vfs: negative write offset")
+	}
+	n := b.Size()
+	if off > c.size {
+		c.data.AppendBuffer(payload.Synth(holeSeed, c.size, off-c.size))
+		c.size = off
+	}
+	switch {
+	case off == c.size:
+		c.data.AppendBuffer(b)
+		c.size += n
+	case off+n >= c.size:
+		var next payload.Buffer
+		next.AppendBuffer(c.data.Slice(0, off))
+		next.AppendBuffer(b)
+		c.data = next
+		c.size = off + n
+	default:
+		var next payload.Buffer
+		next.AppendBuffer(c.data.Slice(0, off))
+		next.AppendBuffer(b)
+		next.AppendBuffer(c.data.Slice(off+n, c.size-off-n))
+		c.data = next
+	}
+}
+
+// readAt returns [off, off+n) without copying.
+func (c *content) readAt(off, n int64) payload.Buffer {
+	if off < 0 || n < 0 || off+n > c.size {
+		panic(fmt.Sprintf("vfs: read [%d,%d) beyond size %d", off, off+n, c.size))
+	}
+	return c.data.Slice(off, n)
+}

@@ -1,0 +1,123 @@
+// Package vfs models the storage subsystems the paper's evaluation depends
+// on: a rotating-disk device, an ext3-like node-local file system with a page
+// cache and write-back semantics, and a PVFS-like striped parallel file
+// system whose servers share disks and network links — so the contention
+// between concurrent checkpoint streams that dominates the paper's
+// Checkpoint/Restart numbers is emergent rather than scripted.
+package vfs
+
+import (
+	"ibmig/internal/calib"
+	"ibmig/internal/sim"
+)
+
+// diskOpChunk is the granularity at which the device is occupied, letting
+// concurrent streams interleave like a real elevator-scheduled disk.
+const diskOpChunk = 1 << 20
+
+// Disk is one rotating device. Throughput degrades as concurrently open
+// streams force the head to interleave: eff = 1/(1 + penalty*(streams-1)).
+type Disk struct {
+	e             *sim.Engine
+	name          string
+	writeBW       int64
+	readBW        int64
+	opOverhead    sim.Duration
+	streamPenalty float64
+
+	head    *sim.Resource
+	streams int
+
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// DiskConfig overrides device parameters; zero values use calibrated
+// defaults.
+type DiskConfig struct {
+	WriteBandwidth int64
+	ReadBandwidth  int64
+	OpOverhead     sim.Duration
+	StreamPenalty  float64
+}
+
+// NewDisk creates a device.
+func NewDisk(e *sim.Engine, name string, cfg DiskConfig) *Disk {
+	if cfg.WriteBandwidth == 0 {
+		cfg.WriteBandwidth = calib.DiskWriteBandwidth
+	}
+	if cfg.ReadBandwidth == 0 {
+		cfg.ReadBandwidth = calib.DiskReadBandwidth
+	}
+	if cfg.OpOverhead == 0 {
+		cfg.OpOverhead = calib.DiskOpOverhead
+	}
+	if cfg.StreamPenalty == 0 {
+		cfg.StreamPenalty = calib.DiskStreamPenalty
+	}
+	return &Disk{
+		e:             e,
+		name:          name,
+		writeBW:       cfg.WriteBandwidth,
+		readBW:        cfg.ReadBandwidth,
+		opOverhead:    cfg.OpOverhead,
+		streamPenalty: cfg.StreamPenalty,
+		head:          sim.NewResource(e, "disk."+name, 1),
+	}
+}
+
+// StartStream registers a concurrent I/O stream (an open, busy file). More
+// streams mean more seeking and lower per-stream efficiency.
+func (d *Disk) StartStream() { d.streams++ }
+
+// EndStream deregisters a stream.
+func (d *Disk) EndStream() {
+	if d.streams == 0 {
+		panic("vfs: EndStream without StartStream on " + d.name)
+	}
+	d.streams--
+}
+
+// Streams returns the number of registered streams.
+func (d *Disk) Streams() int { return d.streams }
+
+// efficiency returns the current head efficiency in (0, 1].
+func (d *Disk) efficiency() float64 {
+	s := d.streams
+	if s < 1 {
+		s = 1
+	}
+	return 1.0 / (1.0 + d.streamPenalty*float64(s-1))
+}
+
+// xfer occupies the device for n bytes at the given base bandwidth, in
+// diskOpChunk slices so concurrent streams interleave.
+func (d *Disk) xfer(p *sim.Proc, n, bw int64) {
+	for n > 0 {
+		op := n
+		if op > diskOpChunk {
+			op = diskOpChunk
+		}
+		eff := d.efficiency()
+		dur := sim.Duration(float64(op) / (float64(bw) * eff) * 1e9)
+		d.head.Hold(p, 1, dur)
+		n -= op
+	}
+}
+
+// Write occupies the device writing n bytes in the calling process.
+func (d *Disk) Write(p *sim.Proc, n int64) {
+	d.BytesWritten += n
+	d.xfer(p, n, d.writeBW)
+}
+
+// Read occupies the device reading n bytes in the calling process.
+func (d *Disk) Read(p *sim.Proc, n int64) {
+	d.BytesRead += n
+	d.xfer(p, n, d.readBW)
+}
+
+// Op charges one fixed metadata/sync operation (seek + journal commit).
+func (d *Disk) Op(p *sim.Proc) {
+	d.head.Hold(p, 1, d.opOverhead)
+}
