@@ -8,16 +8,21 @@
 //	migsim -app LU -class W -np 16 -ppn 2 -transport socket
 //	migsim -app SP -class C -np 64 -ppn 8 -strategy cr-pvfs
 //	migsim -app LU -class S -np 8 -ppn 2 -trace           # watch the protocol
+//	migsim -app LU -class W -np 16 -ppn 2 -fault tgt-crash -fault-phase 2
+//	migsim -app LU -class W -np 16 -ppn 2 -fault src-crash -verify
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ibmig/internal/cluster"
 	"ibmig/internal/core"
 	"ibmig/internal/cr"
+	"ibmig/internal/fault"
+	"ibmig/internal/ftb"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
 	"ibmig/internal/sim"
@@ -35,6 +40,8 @@ func main() {
 	chunkKB := flag.Int64("chunk", 1024, "chunk size (KB)")
 	triggerFrac := flag.Float64("trigger", 0.33, "trigger point as a fraction of estimated runtime")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultKind := flag.String("fault", "", "inject a fault during the migration: src-crash, tgt-crash, link, disk or drop-restart")
+	faultPhase := flag.Int("fault-phase", 2, "migration phase (1-4) the fault lands at")
 	verify := flag.Bool("verify", false, "checksum images end to end (slower)")
 	trace := flag.Bool("trace", false, "stream framework trace events")
 	timeline := flag.Bool("timeline", false, "print the migration's event timeline (the paper's Fig. 2 sequence)")
@@ -59,6 +66,10 @@ func main() {
 	if *transport == "socket" {
 		opts.Transport = core.TransportSocket
 	}
+	if *faultKind != "" {
+		// A dead node stalls a phase until the deadline; keep the wait short.
+		opts.PhaseDeadline = 5 * time.Second
+	}
 
 	e := sim.NewEngine(*seed)
 	var recorder *sim.Recorder
@@ -76,13 +87,41 @@ func main() {
 		recorder = &sim.Recorder{}
 		e.SetTracer(recorder)
 	}
+	spares := 1
+	if *faultKind != "" {
+		spares = 2 // recovery may burn a spare and retry onto the next
+	}
 	c := cluster.New(e, cluster.Config{
 		ComputeNodes: *np / *ppn,
-		SpareNodes:   1,
+		SpareNodes:   spares,
 		PVFSServers:  4,
 	})
 	res := npb.NewResult(w.Ranks)
 	fw := core.Launch(c, w, *ppn, res, opts)
+
+	src := c.Compute[len(c.Compute)/2].Name
+	if *faultKind != "" {
+		inj := fault.NewInjector(c)
+		inj.Bind(fw)
+		var sp fault.Spec
+		switch *faultKind {
+		case "src-crash":
+			sp = fault.Spec{Kind: fault.NodeCrash, Node: src}
+		case "tgt-crash":
+			sp = fault.Spec{Kind: fault.NodeCrash, Node: c.Spares[0].Name}
+		case "link":
+			sp = fault.Spec{Kind: fault.HCAFail, Node: c.Spares[0].Name}
+		case "disk":
+			sp = fault.Spec{Kind: fault.DiskFail, Node: c.Spares[0].Name}
+		case "drop-restart":
+			sp = fault.Spec{Kind: fault.FTBDrop, Event: ftb.EventRestart}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown fault %q\n", *faultKind)
+			os.Exit(2)
+		}
+		inj.AtPhase(0, *faultPhase, sp)
+		fmt.Printf("armed fault %v at migration phase %d\n", sp, *faultPhase)
+	}
 
 	fmt.Printf("%s: %d ranks on %d nodes (%d/node), est. runtime %.1fs, image %s MB/rank\n",
 		w.Name(), w.Ranks, *np / *ppn, *ppn, w.EstimatedRuntime().Seconds(), metrics.MB(w.PerRankImage))
@@ -92,8 +131,16 @@ func main() {
 	e.Spawn("migsim", func(p *sim.Proc) {
 		fw.W.WaitReady(p)
 		start := p.Now()
+		if *faultKind != "" {
+			// The recovery image the CR-fallback path restores from if the
+			// injected fault defeats the migration itself.
+			if _, err := fw.Checkpoint(p, cr.PVFS); err != nil {
+				fmt.Fprintln(os.Stderr, "pre-fault checkpoint:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("full-job checkpoint taken at t=%.1fs\n", p.Now().Seconds())
+		}
 		p.Sleep(sim.Duration(float64(w.EstimatedRuntime()) * *triggerFrac))
-		src := c.Compute[len(c.Compute)/2].Name
 		switch *strategy {
 		case "migrate":
 			fmt.Printf("triggering migration of %s at t=%.1fs\n", src, p.Now().Seconds())
@@ -133,6 +180,10 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println(report)
+	if jm := fw.JobManager(); *faultKind != "" || jm.MigrationsAborted > 0 {
+		fmt.Printf("recovery: aborted=%d spare-retries=%d cr-fallbacks=%d restart-resends=%d job-lost=%v\n",
+			jm.MigrationsAborted, jm.SpareRetries, jm.CRFallbacks, jm.RestartResends, jm.JobLost)
+	}
 	fmt.Printf("application ran %.2fs end to end (overhead vs estimate: %.1f%%)\n",
 		appDur.Seconds(), (appDur.Seconds()/w.EstimatedRuntime().Seconds()-1)*100)
 	if *verify {

@@ -44,9 +44,9 @@ var (
 
 // Sink receives the checkpoint stream. Write is called in checkpoint order;
 // implementations charge their own medium costs (file cache, buffer pool,
-// network).
+// network). A Write error aborts the checkpoint.
 type Sink interface {
-	Write(p *sim.Proc, b payload.Buffer)
+	Write(p *sim.Proc, b payload.Buffer) error
 }
 
 // Source provides a checkpoint stream for restart.
@@ -62,7 +62,10 @@ type BufferSink struct {
 }
 
 // Write implements Sink.
-func (s *BufferSink) Write(_ *sim.Proc, b payload.Buffer) { s.Buf.AppendBuffer(b) }
+func (s *BufferSink) Write(_ *sim.Proc, b payload.Buffer) error {
+	s.Buf.AppendBuffer(b)
+	return nil
+}
 
 // BufferSource serves a stream from memory with no timing cost.
 type BufferSource struct {
@@ -137,7 +140,9 @@ func Checkpoint(p *sim.Proc, pr *proc.Process, cb *Callbacks, sink Sink, opts Op
 	payloadBytes := pr.ImageSize()
 	total := int64(headerSize) + int64(len(pr.Segments))*headerSize + payloadBytes
 	info := &ImageInfo{PID: pr.PID, Rank: pr.Rank, Bytes: total, Payload: payloadBytes}
-	sink.Write(p, payload.FromBytes(encodeFileHeader(pr, total)))
+	if err := sink.Write(p, payload.FromBytes(encodeFileHeader(pr, total))); err != nil {
+		return nil, err
+	}
 	for _, s := range pr.Segments {
 		data := s.Region.Content()
 		var sum uint64
@@ -145,13 +150,17 @@ func Checkpoint(p *sim.Proc, pr *proc.Process, cb *Callbacks, sink Sink, opts Op
 			sum = data.Checksum()
 			info.Checksum = info.Checksum*1099511628211 + sum
 		}
-		sink.Write(p, payload.FromBytes(encodeSegHeader(s, sum)))
+		if err := sink.Write(p, payload.FromBytes(encodeSegHeader(s, sum))); err != nil {
+			return nil, err
+		}
 		// Dump cost: page-table walk plus copying the bytes out of the
 		// address space.
 		pages := (data.Size() + calib.PageSize - 1) / calib.PageSize
 		p.Sleep(sim.Duration(pages) * calib.CkptPerPage)
 		p.Sleep(sim.Duration(float64(data.Size()) / float64(calib.MemcpyBandwidth) * 1e9))
-		sink.Write(p, data)
+		if err := sink.Write(p, data); err != nil {
+			return nil, err
+		}
 	}
 	p.Trace("blcr.checkpoint", fmt.Sprintf("pid=%d rank=%d bytes=%d", pr.PID, pr.Rank, info.Bytes))
 	return info, nil
@@ -256,12 +265,12 @@ func trimZero(b []byte) string {
 // write path is).
 type FileSink struct {
 	F interface {
-		Append(p *sim.Proc, b payload.Buffer)
+		Append(p *sim.Proc, b payload.Buffer) error
 	}
 }
 
 // Write implements Sink.
-func (s FileSink) Write(p *sim.Proc, b payload.Buffer) { s.F.Append(p, b) }
+func (s FileSink) Write(p *sim.Proc, b payload.Buffer) error { return s.F.Append(p, b) }
 
 // FileSource adapts anything with ReadAt/Size (local files, PVFS handles) to
 // the Source interface.

@@ -18,6 +18,15 @@ import (
 	"ibmig/internal/vfs"
 )
 
+// FTB vocabulary for cluster-level hardware events.
+const (
+	// NamespaceCluster carries hardware status events published by the
+	// cluster monitor on the login node.
+	NamespaceCluster = "ftb.cluster"
+	// EventNodeDown announces a node crash; the payload is the node name.
+	EventNodeDown = "NODE_DOWN"
+)
+
 // Config describes the testbed. Zero values fall back to the paper's layout
 // where sensible.
 type Config struct {
@@ -55,6 +64,8 @@ type Cluster struct {
 	Compute []*Node
 	Spares  []*Node
 	nodes   map[string]*Node
+	dead    map[string]bool
+	monitor *ftb.Client
 }
 
 // New builds a cluster on the engine.
@@ -78,6 +89,7 @@ func New(e *sim.Engine, cfg Config) *Cluster {
 			PerMessageCPU: 25 * time.Microsecond,
 		}),
 		nodes: make(map[string]*Node),
+		dead:  make(map[string]bool),
 	}
 	mk := func(name string) *Node {
 		n := &Node{
@@ -116,11 +128,47 @@ func New(e *sim.Engine, cfg Config) *Cluster {
 		c.PVFS = vfs.NewPVFS(e, c.Fabric, servers, cfg.Stripe, serverDisk)
 	}
 	c.FTB = ftb.Deploy(e, c.Eth, ftbNodes, cfg.FTBFanout)
+	c.monitor = c.FTB.Connect("login", "cluster-monitor")
 	return c
 }
 
 // Node returns the named node, or nil.
 func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// NodeAlive reports whether the named node exists and has not been killed.
+func (c *Cluster) NodeAlive(name string) bool {
+	return c.nodes[name] != nil && !c.dead[name]
+}
+
+// KillNode crashes a node: its processes vanish, its HCA and disk fail, and
+// its FTB agent dies — all at the current instant, as a power loss would.
+// The cluster monitor on the login node then announces the death on the FTB
+// (the out-of-band detection path a real IPMI watchdog provides). Idempotent;
+// unknown names and the login node are rejected.
+func (c *Cluster) KillNode(p *sim.Proc, name string) {
+	n := c.nodes[name]
+	if n == nil {
+		panic("cluster: kill of unknown node " + name)
+	}
+	if name == c.Login.Name {
+		panic("cluster: the login node cannot be killed")
+	}
+	if c.dead[name] {
+		return
+	}
+	c.dead[name] = true
+	p.Trace("cluster.kill", name)
+	n.Procs.Clear()
+	n.HCA.Fail()
+	n.FS.Disk().Fail()
+	c.FTB.KillAgent(name)
+	c.monitor.Publish(p, ftb.Event{
+		Namespace: NamespaceCluster,
+		Name:      EventNodeDown,
+		Severity:  "FATAL",
+		Payload:   name,
+	})
+}
 
 // ComputeNames returns the compute node names in order.
 func (c *Cluster) ComputeNames() []string {

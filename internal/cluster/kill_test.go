@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/ftb"
+	"ibmig/internal/sim"
+)
+
+func TestKillNodeIsAtomic(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 4, SpareNodes: 1})
+	n := c.Node("node02")
+	n.Procs.Spawn("victim", 0, nil)
+	sub := c.FTB.Connect("login", "obs").Subscribe(NamespaceCluster, "")
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond) // let the FTB tree assemble
+		c.KillNode(p, "node02")
+	})
+	var events []string
+	e.Spawn("listen", func(p *sim.Proc) {
+		for {
+			ev, ok := sub.Recv(p)
+			if !ok {
+				return
+			}
+			if node, isStr := ev.Payload.(string); isStr && ev.Name == EventNodeDown {
+				events = append(events, node)
+			}
+		}
+	})
+	if err := e.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if c.NodeAlive("node02") {
+		t.Error("node still alive after KillNode")
+	}
+	if n.Procs.Len() != 0 {
+		t.Error("processes survived the crash")
+	}
+	if !n.HCA.Failed() {
+		t.Error("HCA survived the crash")
+	}
+	if !n.FS.Disk().Failed() {
+		t.Error("disk survived the crash")
+	}
+	if len(events) != 1 || events[0] != "node02" {
+		t.Errorf("NODE_DOWN events = %v, want exactly [node02]", events)
+	}
+}
+
+func TestKillNodeIsIdempotent(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 2, SpareNodes: 1})
+	sub := c.FTB.Connect("login", "obs").Subscribe(NamespaceCluster, "")
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		c.KillNode(p, "node01")
+		c.KillNode(p, "node01")
+	})
+	if err := e.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if got := sub.Pending(); got != 1 {
+		t.Fatalf("double kill published %d NODE_DOWN events, want 1", got)
+	}
+}
+
+func TestKillLoginNodePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 2, SpareNodes: 1})
+	panicked := false
+	e.Spawn("killer", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.KillNode(p, "login")
+	})
+	if err := e.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if !panicked {
+		t.Fatal("killing the login node did not panic")
+	}
+}
+
+func TestDeadNodeFTBAgentIsGone(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 3, SpareNodes: 1})
+	sub := c.FTB.Connect("login", "obs").Subscribe("app", "")
+	pub := c.FTB.Connect("node03", "pub")
+	e.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		c.KillNode(p, "node03")
+		p.Sleep(20 * time.Millisecond)
+		// A client on the dead node publishes into the void.
+		pub.Publish(p, ftb.Event{Namespace: "app", Name: "SHOULD_BE_LOST"})
+	})
+	if err := e.RunUntil(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if got := sub.Pending(); got != 0 {
+		t.Fatalf("dead node's agent delivered %d events, want 0", got)
+	}
+}

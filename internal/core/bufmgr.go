@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,10 @@ import (
 	"ibmig/internal/sim"
 	"ibmig/internal/vfs"
 )
+
+// errAborted reports that the migration attempt was torn down while an
+// operation was in flight.
+var errAborted = errors.New("core: migration attempt aborted")
 
 // srcBufMgr is the user-level buffer manager on the migration source (paper
 // Fig. 3): it owns the buffer pool that the altered BLCR maps into kernel
@@ -28,6 +33,7 @@ type srcBufMgr struct {
 	qp        *ib.QP            // control endpoint (RDMA transport)
 	sock      *gige.Conn        // data connection (socket transport)
 	complete  *sim.Event
+	aborted   bool
 
 	ChunksSent int64
 }
@@ -73,7 +79,9 @@ func newSrcBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationSt
 				cm := msg.Meta.(ctrlMsg)
 				switch cm.kind {
 				case kRelease:
-					s.free.TrySend(cm.poolOff)
+					if !s.free.Closed() {
+						s.free.TrySend(cm.poolOff)
+					}
 				case kComplete:
 					s.complete.Fire()
 				}
@@ -113,49 +121,56 @@ func (s *srcBufMgr) close() {
 	}
 }
 
+// abort tears the source side down mid-transfer: the pool queue closes so
+// checkpoint streams waiting for a free chunk error out instead of blocking
+// forever, the transport endpoints close (the pump daemons exit), and the
+// completion event fires so a parked runSource wakes and observes m.aborted.
+func (s *srcBufMgr) abort() {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	s.free.Close()
+	s.close()
+	s.complete.Fire()
+}
+
 // sink returns the aggregation sink for one rank's checkpoint stream.
 func (s *srcBufMgr) sink(rank int) *aggSink {
 	return &aggSink{mgr: s, rank: rank, cur: -1}
 }
 
 // sendChunk announces (RDMA) or pushes (socket) one filled chunk.
-func (s *srcBufMgr) sendChunk(p *sim.Proc, rank int, fileOff, poolOff, size int64) {
+func (s *srcBufMgr) sendChunk(p *sim.Proc, rank int, fileOff, poolOff, size int64) error {
 	s.ChunksSent++
 	if s.qp != nil {
-		err := s.qp.PostSend(ib.Message{
+		return s.qp.PostSend(ib.Message{
 			Meta:     ctrlMsg{kind: kChunkReady, rank: rank, fileOff: fileOff, size: size, poolOff: poolOff, rkey: s.poolMR.RKey()},
 			MetaSize: 64,
 		})
-		if err != nil {
-			panic("core: chunk announce: " + err.Error())
-		}
-		return
 	}
 	// Socket staging: the chunk's bytes go through the memory-copy socket
 	// stack; once Send returns the kernel owns a copy and the chunk is free.
 	data := s.pool.Read(poolOff, size)
-	err := s.sock.Send(p, gige.Message{
+	if err := s.sock.Send(p, gige.Message{
 		Kind:    "chunk",
 		Payload: sockChunk{rank: rank, fileOff: fileOff, data: data},
 		Size:    64 + size,
-	})
-	if err != nil {
-		panic("core: socket chunk send: " + err.Error())
+	}); err != nil {
+		return err
 	}
-	s.free.TrySend(poolOff)
+	if !s.free.Closed() {
+		s.free.TrySend(poolOff)
+	}
+	return nil
 }
 
 // sendRankDone tells the target how many bytes rank's complete image has.
-func (s *srcBufMgr) sendRankDone(p *sim.Proc, rank int, total int64) {
+func (s *srcBufMgr) sendRankDone(p *sim.Proc, rank int, total int64) error {
 	if s.qp != nil {
-		if err := s.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kRankDone, rank: rank, total: total}, MetaSize: 64}); err != nil {
-			panic("core: rank-done announce: " + err.Error())
-		}
-		return
+		return s.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kRankDone, rank: rank, total: total}, MetaSize: 64})
 	}
-	if err := s.sock.Send(p, gige.Message{Kind: "rankdone", Payload: sockChunk{rank: rank, fileOff: total}, Size: 64}); err != nil {
-		panic("core: socket rank-done: " + err.Error())
-	}
+	return s.sock.Send(p, gige.Message{Kind: "rankdone", Payload: sockChunk{rank: rank, fileOff: total}, Size: 64})
 }
 
 // aggSink adapts one process's BLCR checkpoint stream onto the shared buffer
@@ -171,12 +186,12 @@ type aggSink struct {
 }
 
 // Write implements blcr.Sink.
-func (a *aggSink) Write(p *sim.Proc, b payload.Buffer) {
+func (a *aggSink) Write(p *sim.Proc, b payload.Buffer) error {
 	for b.Size() > 0 {
 		if a.cur < 0 {
 			off, ok := a.mgr.free.Recv(p)
 			if !ok {
-				panic("core: buffer pool closed mid-checkpoint")
+				return errAborted
 			}
 			a.cur, a.fill = off, 0
 		}
@@ -189,27 +204,33 @@ func (a *aggSink) Write(p *sim.Proc, b payload.Buffer) {
 		a.written += take
 		b = b.Slice(take, b.Size()-take)
 		if a.fill == a.mgr.chunkSize {
-			a.flush(p)
+			if err := a.flush(p); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func (a *aggSink) flush(p *sim.Proc) {
+func (a *aggSink) flush(p *sim.Proc) error {
 	start := a.written - a.fill
-	a.mgr.sendChunk(p, a.rank, start, a.cur, a.fill)
+	err := a.mgr.sendChunk(p, a.rank, start, a.cur, a.fill)
 	a.cur, a.fill = -1, 0
+	return err
 }
 
 // close flushes the final partial chunk and announces the stream's total
 // size.
-func (a *aggSink) close(p *sim.Proc, total int64) {
+func (a *aggSink) close(p *sim.Proc, total int64) error {
 	if a.fill > 0 {
-		a.flush(p)
+		if err := a.flush(p); err != nil {
+			return err
+		}
 	}
 	if a.written != total {
 		panic(fmt.Sprintf("core: rank %d sink wrote %d of %d bytes", a.rank, a.written, total))
 	}
-	a.mgr.sendRankDone(p, a.rank, total)
+	return a.mgr.sendRankDone(p, a.rank, total)
 }
 
 // orderedAssembler reassembles a rank's stream from chunks that may complete
@@ -255,15 +276,21 @@ type targetBufMgr struct {
 	files map[int]*vfs.File
 	mem   map[int]*orderedAssembler
 
-	expected  map[int]int64
-	written   map[int]int64
-	ranksDone int
-	doneSent  bool
+	expected    map[int]int64
+	written     map[int]int64
+	ranksDone   int
+	doneSent    bool
+	aborted     bool
+	filesClosed bool
 
 	// onRankComplete, if set (pipelined restart), fires once per rank when
 	// its full image has landed.
 	onRankComplete func(rank int)
 	rankStarted    map[int]bool
+
+	// onFail reports an unexpected transfer error to the Job Manager (wired
+	// to the owning NLA's failure reporter).
+	onFail func(p *sim.Proc, node, what string, err error)
 }
 
 func newTargetBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationState) *targetBufMgr {
@@ -296,6 +323,52 @@ func newTargetBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migratio
 // stream returns the reassembled checkpoint stream for a rank (memory mode).
 func (t *targetBufMgr) stream(rank int) blcr.Source {
 	return &blcr.BufferSource{Buf: t.mem[rank].final()}
+}
+
+// abort tears the target side down mid-transfer: the token pool closes (the
+// receive loop exits instead of scheduling more pulls), both transport
+// endpoints close, and the partial reassembly files are discarded.
+func (t *targetBufMgr) abort() {
+	if t.aborted {
+		return
+	}
+	t.aborted = true
+	t.tokens.Close()
+	if t.qp != nil {
+		t.qp.Close()
+	}
+	if t.sockConn != nil {
+		t.sockConn.Close()
+	}
+	t.closeFiles()
+	for _, r := range t.m.ranks {
+		if t.files[r.ID()] != nil {
+			t.node.FS.Remove(fmt.Sprintf("context.%d.tmp", r.ID()))
+		}
+	}
+}
+
+// closeFiles closes the reassembly files once (shared by the restart path and
+// abort).
+func (t *targetBufMgr) closeFiles() {
+	if t.filesClosed {
+		return
+	}
+	t.filesClosed = true
+	for _, r := range t.m.ranks {
+		if f := t.files[r.ID()]; f != nil {
+			f.Close()
+		}
+	}
+}
+
+// fail reports a transfer error upward — unless the attempt is already being
+// torn down, in which case errors are the expected debris of the abort.
+func (t *targetBufMgr) fail(p *sim.Proc, node, what string, err error) {
+	if t.aborted || t.onFail == nil {
+		return
+	}
+	t.onFail(p, node, what, err)
 }
 
 // run processes inbound chunk traffic until the transfer completes.
@@ -337,28 +410,38 @@ func (t *targetBufMgr) run(p *sim.Proc) {
 func (t *targetBufMgr) pull(p *sim.Proc, cm ctrlMsg, token int) {
 	data, err := t.qp.RDMARead(p, cm.rkey, cm.poolOff, cm.size)
 	if err != nil {
-		panic("core: RDMA pull: " + err.Error())
+		t.fail(p, "", "RDMA pull", err)
+		return
 	}
 	// Release the source chunk as soon as the data is here (paper: "the
 	// target buffer manager sends a RDMA-Read reply telling the source
 	// buffer manager to release a buffer chunk").
 	if err := t.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kRelease, poolOff: cm.poolOff}, MetaSize: 64}); err != nil {
-		panic("core: release: " + err.Error())
+		t.fail(p, "", "chunk release", err)
+		return
 	}
-	t.land(p, cm.rank, cm.fileOff, data)
-	t.tokens.TrySend(token)
+	if err := t.land(p, cm.rank, cm.fileOff, data); err != nil {
+		t.fail(p, t.node.Name, "land chunk", err)
+		return
+	}
+	if !t.tokens.Closed() {
+		t.tokens.TrySend(token)
+	}
 	t.checkComplete(p)
 }
 
 // land writes a chunk into the rank's reassembly destination.
-func (t *targetBufMgr) land(p *sim.Proc, rank int, fileOff int64, data payload.Buffer) {
+func (t *targetBufMgr) land(p *sim.Proc, rank int, fileOff int64, data payload.Buffer) error {
 	if f := t.files[rank]; f != nil {
-		f.WriteAt(p, fileOff, data)
+		if err := f.WriteAt(p, fileOff, data); err != nil {
+			return err
+		}
 	} else {
 		t.mem[rank].add(fileOff, data)
 	}
 	t.written[rank] += data.Size()
 	t.noteProgress(rank)
+	return nil
 }
 
 // noteProgress fires the on-the-fly restart hook once a rank's image is
@@ -378,7 +461,7 @@ func (t *targetBufMgr) noteProgress(rank int) {
 // image has landed, then shuts the target's receive side down so its daemons
 // exit.
 func (t *targetBufMgr) checkComplete(p *sim.Proc) {
-	if t.doneSent || t.ranksDone < len(t.m.ranks) {
+	if t.doneSent || t.aborted || t.ranksDone < len(t.m.ranks) {
 		return
 	}
 	for r, want := range t.expected {
@@ -392,7 +475,8 @@ func (t *targetBufMgr) checkComplete(p *sim.Proc) {
 		return
 	}
 	if err := t.qp.PostSend(ib.Message{Meta: ctrlMsg{kind: kComplete}, MetaSize: 64}); err != nil {
-		panic("core: complete: " + err.Error())
+		t.fail(p, "", "completion notify", err)
+		return
 	}
 	// The completion may be detected by a pull worker while the main receive
 	// loop is blocked; closing the local endpoint unblocks it (the posted
@@ -417,7 +501,10 @@ func (t *targetBufMgr) runSocket(p *sim.Proc) {
 		switch msg.Kind {
 		case "chunk":
 			c := msg.Payload.(sockChunk)
-			t.land(p, c.rank, c.fileOff, c.data)
+			if err := t.land(p, c.rank, c.fileOff, c.data); err != nil {
+				t.fail(p, t.node.Name, "land chunk", err)
+				return
+			}
 			t.checkComplete(p)
 		case "rankdone":
 			c := msg.Payload.(sockChunk)

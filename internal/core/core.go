@@ -27,9 +27,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ibmig/internal/calib"
 	"ibmig/internal/cluster"
+	"ibmig/internal/cr"
 	"ibmig/internal/ftb"
 	"ibmig/internal/ib"
 	"ibmig/internal/metrics"
@@ -80,6 +82,11 @@ type Options struct {
 	Transport       Transport
 	// Hash enables end-to-end image checksums (verified at restart).
 	Hash bool
+	// PhaseDeadline bounds how long a migration may sit in one phase without
+	// progress before the Job Manager aborts it and recovers (sim time).
+	// Default 2 minutes — generous against the paper's multi-second phases
+	// but finite, so a dead node can never hang the job.
+	PhaseDeadline sim.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ChunkBytes > o.BufferPoolBytes {
 		o.ChunkBytes = o.BufferPoolBytes
+	}
+	if o.PhaseDeadline == 0 {
+		o.PhaseDeadline = 2 * time.Minute
 	}
 	return o
 }
@@ -116,6 +126,30 @@ type Framework struct {
 
 	migrationSeq int
 	current      *migrationState
+
+	// ckpt is the last full-job checkpoint (taken via Checkpoint) — the
+	// recovery image the CR-fallback path restores from.
+	ckpt       *cr.Runner
+	ckptActive bool
+
+	// phaseHooks run synchronously in the JM process at each phase entry of
+	// each migration attempt — the anchor fault injection hangs off.
+	phaseHooks []func(p *sim.Proc, seq, phase int)
+}
+
+// OnPhase registers a hook called at the entry of each migration phase
+// (1..4), in the Job Manager's process, with the migration sequence number.
+// Phase 1 anchors at the globally-suspended point (before the source may
+// checkpoint): earlier the application is still communicating and a fault
+// would take the whole job down, which is outside this framework's scope.
+func (fw *Framework) OnPhase(fn func(p *sim.Proc, seq, phase int)) {
+	fw.phaseHooks = append(fw.phaseHooks, fn)
+}
+
+func (fw *Framework) notifyPhase(p *sim.Proc, seq, phase int) {
+	for _, fn := range fw.phaseHooks {
+		fn(p, seq, phase)
+	}
 }
 
 // migrationState is the in-flight migration shared between JM and NLAs (the
@@ -130,6 +164,7 @@ type migrationState struct {
 	qpReady    *sim.Event // source BM: control QP to target established
 	tgtQP      *ib.QP     // target's endpoint of the buffer-manager channel
 	tgt        *targetBufMgr
+	srcBM      *srcBufMgr
 	report     *metrics.Report
 	watch      *metrics.Stopwatch
 	piicAt     sim.Time
@@ -140,6 +175,36 @@ type migrationState struct {
 	// pipelineDone, under RestartPipelined, signals per-rank on-the-fly
 	// restart completion.
 	pipelineDone map[int]*sim.Event
+
+	// Recovery bookkeeping.
+	phase          int             // 1..4, last phase entered
+	aborted        bool            // this attempt was torn down
+	srcVacated     bool            // source procs removed (post-PIIC point)
+	restartSpawned bool            // target NLA saw FTB_RESTART
+	restartResends int             // lost-FTB_RESTART recoveries on this attempt
+	failedNode     string          // node blamed by a MIGRATE_FAILED report
+	excluded       map[string]bool // spares burned by earlier attempts of this trigger
+}
+
+// abortTeardown idempotently releases every resource of a failed attempt:
+// the buffer pool and its MR, both transport endpoints, the target's
+// temporary files — and fires the events parked NLA procs wait on, so they
+// wake, observe m.aborted, and exit.
+func (m *migrationState) abortTeardown() {
+	if m.srcBM != nil {
+		m.srcBM.abort()
+	}
+	if m.tgt != nil {
+		m.tgt.abort()
+	}
+	if m.tgtQP != nil {
+		m.tgtQP.Close()
+	}
+	m.suspended.Fire()
+	m.qpReady.Fire()
+	for _, ev := range m.pipelineDone {
+		ev.Fire()
+	}
 }
 
 // MigratePayload is the FTB_MIGRATE event payload.
@@ -162,6 +227,27 @@ const eventRestartDone = "FTB_RESTART_DONE"
 
 // Event published by a trigger source to request a migration of a node.
 const eventMigrateRequest = "MIGRATE_REQUEST"
+
+// Event published by an NLA when its side of a migration hits an error the
+// protocol cannot complete through (transport failure, disk failure).
+const eventMigrateFailed = "MIGRATE_FAILED"
+
+// Event published by a migration attempt's watchdog when a phase exceeds its
+// deadline without progress.
+const eventMigrateTimeout = "MIGRATE_TIMEOUT"
+
+// Event published after a full-job checkpoint completes, nudging the Job
+// Manager to serve triggers deferred while the job was frozen.
+const eventCkptDone = "CKPT_DONE"
+
+// FailurePayload is the MIGRATE_FAILED event payload. Node is the node the
+// reporter blames, or "" when the fault cannot be localized (a transport
+// error implicates either endpoint).
+type FailurePayload struct {
+	Seq    int
+	Node   string
+	Reason string
+}
 
 // Launch starts an MPI job with migration protection: creates the OS
 // processes for every rank (using the workload's address-space layout),
@@ -257,6 +343,27 @@ func (fw *Framework) ReactivateNode(node string) error {
 	}
 	nla.setState(StateSpare)
 	return nil
+}
+
+// Checkpoint takes a coordinated full-job checkpoint and keeps it as the
+// recovery image the CR-fallback path restores from when a migration loses
+// the race against an actual failure. It must not overlap a migration (both
+// own the suspension protocol); migration triggers arriving while the job is
+// frozen are deferred and served afterwards.
+func (fw *Framework) Checkpoint(p *sim.Proc, target cr.Target) (*metrics.Report, error) {
+	if fw.current != nil {
+		return nil, fmt.Errorf("core: checkpoint while migration #%d is in flight", fw.current.seq)
+	}
+	if fw.ckptActive {
+		return nil, fmt.Errorf("core: checkpoint already in progress")
+	}
+	fw.ckptActive = true
+	defer func() { fw.ckptActive = false }()
+	r := cr.NewRunner(fw.C, fw.W, target, fw.opts.Hash)
+	rep := r.Checkpoint(p)
+	fw.ckpt = r
+	fw.trigger.Publish(p, ftb.Event{Namespace: ftb.NamespaceMVAPICH, Name: eventCkptDone})
+	return rep, nil
 }
 
 // Shutdown tears down the MPI world's connections (daemon pumps exit).

@@ -4,15 +4,29 @@ import (
 	"fmt"
 	"time"
 
+	"ibmig/internal/cluster"
 	"ibmig/internal/ftb"
+	"ibmig/internal/health"
 	"ibmig/internal/metrics"
 	"ibmig/internal/sim"
 )
 
+// maxRestartResends bounds how often a stalled Phase 3 is retried by
+// re-publishing FTB_RESTART before the migration is aborted outright.
+const maxRestartResends = 2
+
+// timeoutPayload is the MIGRATE_TIMEOUT event payload.
+type timeoutPayload struct {
+	Seq   int
+	Phase int
+}
+
 // JobManager orchestrates migrations from the login node. All coordination
 // with NLAs flows over the FTB (events FTB_MIGRATE, FTB_MIGRATE_PIIC,
 // FTB_RESTART, FTB_RESTART_DONE); the MPI-rank suspension protocol stands in
-// for the C/R threads' reaction to FTB_MIGRATE.
+// for the C/R threads' reaction to FTB_MIGRATE. The JM also watches the
+// cluster and health namespaces: node deaths and failure predictions feed
+// spare selection and the recovery paths (abort, spare retry, CR fallback).
 type JobManager struct {
 	fw     *Framework
 	client *ftb.Client
@@ -24,10 +38,24 @@ type JobManager struct {
 	pending           []string
 	completionWaiters []*sim.Event
 
+	// unhealthy marks nodes with an outstanding failure prediction or a
+	// reported fault; they are passed over during spare selection.
+	unhealthy map[string]bool
+
 	// MigrationsDone counts completed cycles; FailedTriggers counts requests
 	// dropped for lack of a spare node.
 	MigrationsDone int
 	FailedTriggers int
+
+	// Recovery counters.
+	MigrationsAborted int // attempts torn down by fault or deadline
+	SpareRetries      int // aborted migrations retried onto another spare
+	CRFallbacks       int // full-job restarts from the last checkpoint
+	RestartResends    int // lost FTB_RESTART events re-published
+
+	// JobLost is set when recovery is impossible: the source died without a
+	// prior Framework.Checkpoint (or the fallback restore itself failed).
+	JobLost bool
 }
 
 func newJobManager(fw *Framework) *JobManager {
@@ -35,11 +63,12 @@ func newJobManager(fw *Framework) *JobManager {
 		fw:        fw,
 		client:    fw.C.FTB.Connect(fw.C.Login.Name, "job-manager"),
 		spawnTree: make(map[string]string),
+		unhealthy: make(map[string]bool),
 	}
 	for _, n := range fw.C.Compute {
 		jm.spawnTree[n.Name] = fw.C.Login.Name
 	}
-	sub := jm.client.Subscribe(ftb.NamespaceMVAPICH, "")
+	sub := jm.client.Subscribe("", "") // MVAPICH protocol + cluster + health
 	fw.C.E.Spawn("core.jobmanager", func(p *sim.Proc) { jm.loop(p, sub) })
 	return jm
 }
@@ -50,34 +79,88 @@ func (jm *JobManager) loop(p *sim.Proc, sub *ftb.Subscription) {
 		if !ok {
 			return
 		}
-		switch ev.Name {
-		case eventMigrateRequest:
-			src := ev.Payload.(string)
-			if jm.fw.current != nil {
-				jm.pending = append(jm.pending, src)
-				continue
+		switch {
+		case ev.Namespace == cluster.NamespaceCluster && ev.Name == cluster.EventNodeDown:
+			if node, isStr := ev.Payload.(string); isStr {
+				jm.onNodeDown(p, node)
 			}
-			jm.startMigration(p, src)
-		case ftb.EventMigratePIIC:
-			jm.onPIIC(p, ev)
-		case eventRestartDone:
-			jm.onRestartDone(p, ev)
+		case ev.Namespace == health.NamespacePred && ev.Name == health.EventFailurePredicted:
+			if node, isStr := ev.Payload.(string); isStr {
+				jm.unhealthy[node] = true
+			}
+		case ev.Namespace != ftb.NamespaceMVAPICH:
+			// Other namespaces are not ours.
+		default:
+			switch ev.Name {
+			case eventMigrateRequest:
+				src, isStr := ev.Payload.(string)
+				if !isStr {
+					continue
+				}
+				if jm.fw.current != nil || jm.fw.ckptActive {
+					jm.pending = append(jm.pending, src)
+					continue
+				}
+				jm.startMigration(p, src)
+			case ftb.EventMigratePIIC:
+				jm.onPIIC(p, ev)
+			case eventRestartDone:
+				jm.onRestartDone(p, ev)
+			case eventMigrateFailed:
+				jm.onMigrateFailed(p, ev)
+			case eventMigrateTimeout:
+				jm.onTimeout(p, ev)
+			case eventCkptDone:
+				jm.drainPending(p)
+			}
 		}
 	}
+}
+
+// nodeUsable reports whether a node can carry migration traffic: alive with
+// a working adapter.
+func (jm *JobManager) nodeUsable(name string) bool {
+	n := jm.fw.C.Node(name)
+	return n != nil && jm.fw.C.NodeAlive(name) && !n.HCA.Failed()
+}
+
+// pickSpare selects the migration target: the first usable MIGRATION_SPARE
+// NLA without an outstanding failure warning, skipping excluded nodes. If
+// every candidate carries a warning, the first warned-but-usable spare is
+// returned anyway — a predicted-to-fail spare still beats dropping the
+// migration.
+func (jm *JobManager) pickSpare(excluded map[string]bool) string {
+	healthy, fallback := "", ""
+	for _, nla := range jm.fw.nlaList {
+		if nla.State() != StateSpare {
+			continue
+		}
+		name := nla.node.Name
+		if excluded[name] || !jm.nodeUsable(name) {
+			continue
+		}
+		if jm.fw.opts.RestartMode == RestartFile && nla.node.FS.Disk().Failed() {
+			continue
+		}
+		if fallback == "" {
+			fallback = name
+		}
+		if healthy == "" && !jm.unhealthy[name] {
+			healthy = name
+		}
+	}
+	if healthy != "" {
+		return healthy
+	}
+	return fallback
 }
 
 // startMigration runs Phase 1 and kicks off Phase 2 (paper Fig. 2).
 func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 	fw := jm.fw
-	// Select the migration target: the first NLA still in MIGRATION_SPARE.
-	var dst string
-	for _, nla := range fw.nlaList {
-		if nla.State() == StateSpare {
-			dst = nla.node.Name
-			break
-		}
-	}
-	if dst == "" || fw.nlas[src] == nil || fw.nlas[src].State() != StateReady {
+	dst := jm.pickSpare(nil)
+	srcOK := fw.nlas[src] != nil && fw.nlas[src].State() == StateReady && jm.fw.C.NodeAlive(src)
+	if dst == "" || !srcOK {
 		jm.FailedTriggers++
 		p.Trace("core.jm", fmt.Sprintf("migration of %s dropped (no spare or bad source)", src))
 		jm.fireCompletions()
@@ -102,6 +185,8 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 		imageSums:  make(map[int]uint64),
 		restoredOK: true,
 		report:     metrics.NewReport(fmt.Sprintf("migration#%d %s->%s", fw.migrationSeq, src, dst)),
+		phase:      1,
+		excluded:   make(map[string]bool),
 	}
 	m.watch = metrics.NewStopwatch(m.report, p.Now())
 	fw.current = m
@@ -111,6 +196,7 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 		Name:      ftb.EventMigrate,
 		Payload:   MigratePayload{Source: src, Target: dst, Seq: m.seq},
 	})
+	jm.watchAttempt(m)
 
 	// Phase 1 — Job Stall: every MPI process suspends communication, drains
 	// in-flight messages and tears down its endpoints (the C/R threads react
@@ -120,22 +206,32 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 	m.sus.CompleteTeardown()
 	m.sus.WaitAllSuspended(p)
 	m.watch.Lap(metrics.PhaseStall, p.Now())
+	fw.notifyPhase(p, m.seq, 1)
 	m.suspended.Fire() // the source NLA may now checkpoint
+	m.phase = 2
+	fw.notifyPhase(p, m.seq, 2)
 }
 
 // onPIIC handles the end of Phase 2: adjust the mpispawn tree for the
 // topology change and broadcast FTB_RESTART with the migrated rank list.
 func (jm *JobManager) onPIIC(p *sim.Proc, ev ftb.Event) {
 	m := jm.fw.current
-	if m == nil || ev.Payload.(int) != m.seq {
+	seq, isInt := ev.Payload.(int)
+	if m == nil || !isInt || seq != m.seq || m.aborted {
 		return
 	}
 	m.watch.Lap(metrics.PhaseMigrate, p.Now())
 	m.piicAt = p.Now()
+	m.phase = 3
 	// Re-home the target under the login root; the source leaves the tree.
 	delete(jm.spawnTree, m.src)
 	jm.spawnTree[m.dst] = jm.fw.C.Login.Name
 	p.Sleep(time.Millisecond) // tree surgery bookkeeping
+	jm.fw.notifyPhase(p, m.seq, 3)
+	jm.publishRestart(p, m)
+}
+
+func (jm *JobManager) publishRestart(p *sim.Proc, m *migrationState) {
 	ids := make([]int, len(m.ranks))
 	for i, r := range m.ranks {
 		ids[i] = r.ID()
@@ -150,28 +246,292 @@ func (jm *JobManager) onPIIC(p *sim.Proc, ev ftb.Event) {
 // onRestartDone handles the end of Phase 3 and runs Phase 4 (Resume).
 func (jm *JobManager) onRestartDone(p *sim.Proc, ev ftb.Event) {
 	m := jm.fw.current
-	if m == nil || ev.Payload.(int) != m.seq {
+	seq, isInt := ev.Payload.(int)
+	if m == nil || !isInt || seq != m.seq || m.aborted {
 		return
 	}
 	m.watch.Lap(metrics.PhaseRestart, p.Now())
+	m.phase = 4
+	jm.fw.notifyPhase(p, m.seq, 4)
+	if !jm.nodeUsable(m.dst) {
+		// The target died between restarting the processes and the resume:
+		// the new incarnations are gone with it.
+		jm.recover(p, m, "target lost before resume")
+		return
+	}
 	// Phase 4 — Resume: all ranks re-establish endpoints and leave the
 	// migration barrier.
 	m.sus.Resume()
 	m.sus.WaitAllResumed(p)
 	m.watch.Lap(metrics.PhaseResume, p.Now())
 
-	jm.fw.Reports = append(jm.fw.Reports, m.report)
 	jm.fw.lastVerified = m.restoredOK
-	jm.fw.current = nil
-	jm.MigrationsDone++
-	m.finished.Fire()
 	p.Trace("core.jm", fmt.Sprintf("migration #%d complete: %s", m.seq, m.report))
-	jm.fireCompletions()
-	if len(jm.pending) > 0 {
-		next := jm.pending[0]
-		jm.pending = jm.pending[1:]
-		jm.startMigration(p, next)
+	jm.finishCycle(p, m, true)
+}
+
+// onNodeDown handles a cluster-monitor NODE_DOWN event.
+func (jm *JobManager) onNodeDown(p *sim.Proc, node string) {
+	jm.unhealthy[node] = true
+	if nla := jm.fw.nlas[node]; nla != nil && nla.State() != StateInactive {
+		nla.setState(StateInactive)
 	}
+	m := jm.fw.current
+	if m == nil || m.aborted {
+		return
+	}
+	switch node {
+	case m.dst:
+		jm.recover(p, m, "target node down")
+	case m.src:
+		if m.srcVacated {
+			return // the source already left the job; its death is moot
+		}
+		jm.recover(p, m, "source node down")
+	}
+}
+
+// onMigrateFailed handles an NLA's error report for the current attempt.
+func (jm *JobManager) onMigrateFailed(p *sim.Proc, ev ftb.Event) {
+	pl, isPl := ev.Payload.(FailurePayload)
+	m := jm.fw.current
+	if !isPl || m == nil || pl.Seq != m.seq || m.aborted {
+		return
+	}
+	if pl.Node != "" {
+		jm.unhealthy[pl.Node] = true
+		m.failedNode = pl.Node
+	}
+	jm.recover(p, m, "failure report: "+pl.Reason)
+}
+
+// onTimeout handles a watchdog's phase-deadline report.
+func (jm *JobManager) onTimeout(p *sim.Proc, ev ftb.Event) {
+	pl, isPl := ev.Payload.(timeoutPayload)
+	m := jm.fw.current
+	if !isPl || m == nil || pl.Seq != m.seq || m.aborted || m.phase != pl.Phase {
+		return
+	}
+	jm.recover(p, m, fmt.Sprintf("phase %d deadline exceeded", pl.Phase))
+}
+
+// watchAttempt guards one migration attempt with the per-phase deadline: if
+// the attempt sits in the same phase for a full PhaseDeadline, the watchdog
+// reports a MIGRATE_TIMEOUT and the JM recovers. Deadlines run entirely on
+// the sim clock, so a dead node stalls the job for bounded — and
+// deterministic — time.
+func (jm *JobManager) watchAttempt(m *migrationState) {
+	fw := jm.fw
+	fw.C.E.Spawn(fmt.Sprintf("core.jm.watchdog.%d", m.seq), func(p *sim.Proc) {
+		for {
+			phase := m.phase
+			if m.finished.WaitTimeout(p, fw.opts.PhaseDeadline) {
+				return
+			}
+			if fw.current != m || m.aborted {
+				return
+			}
+			if m.phase == phase {
+				p.Trace("core.jm", fmt.Sprintf("migration #%d stalled in phase %d", m.seq, phase))
+				jm.client.Publish(p, ftb.Event{
+					Namespace: ftb.NamespaceMVAPICH,
+					Name:      eventMigrateTimeout,
+					Payload:   timeoutPayload{Seq: m.seq, Phase: phase},
+				})
+				return
+			}
+		}
+	})
+}
+
+// recover is the failure decision tree for the current attempt:
+//
+//  1. Stalled Phase 3 with a healthy target and vacated source — the
+//     FTB_RESTART (or its DONE) was lost: re-publish it, bounded times.
+//  2. Otherwise abort the attempt: release the buffer pool, deregister MRs,
+//     close QPs, discard partial images, and retire unusable nodes' NLAs.
+//  3. Source still healthy and not yet vacated — retry onto the next usable
+//     spare (the burned one excluded); with no spare left, resume in place.
+//  4. Source dead or vacated (the images moved with it) — full-job CR
+//     fallback from the last checkpoint, lost nodes replaced by spares.
+func (jm *JobManager) recover(p *sim.Proc, m *migrationState, reason string) {
+	fw := jm.fw
+	if fw.current != m || m.aborted {
+		return
+	}
+	p.Trace("core.jm", fmt.Sprintf("migration #%d recovery (phase %d): %s", m.seq, m.phase, reason))
+	if m.phase == 3 && m.srcVacated && jm.nodeUsable(m.dst) && m.failedNode != m.dst &&
+		m.restartResends < maxRestartResends {
+		m.restartResends++
+		jm.RestartResends++
+		m.report.Extra["restart_resends"]++
+		p.Trace("core.jm", fmt.Sprintf("migration #%d: re-publishing FTB_RESTART", m.seq))
+		jm.publishRestart(p, m)
+		jm.watchAttempt(m)
+		return
+	}
+	m.aborted = true
+	jm.MigrationsAborted++
+	m.report.Extra["aborts"]++
+	m.abortTeardown()
+	for _, nla := range fw.nlaList {
+		if nla.State() != StateInactive && !jm.nodeUsable(nla.node.Name) {
+			nla.setState(StateInactive)
+		}
+	}
+	if jm.nodeUsable(m.src) && m.failedNode != m.src && !m.srcVacated {
+		m.excluded[m.dst] = true
+		if dst := jm.pickSpare(m.excluded); dst != "" {
+			jm.SpareRetries++
+			m.report.Extra["spare_retries"]++
+			jm.startRetry(p, m, dst)
+			return
+		}
+		p.Trace("core.jm", fmt.Sprintf("migration #%d: no spare remains, resuming in place", m.seq))
+		jm.resumeInPlace(p, m)
+		return
+	}
+	jm.crFallback(p, m)
+}
+
+// startRetry launches a fresh attempt of an aborted migration onto dst. The
+// job is still globally suspended from the aborted attempt, so the new
+// attempt shares its suspension and starts directly at Phase 2.
+func (jm *JobManager) startRetry(p *sim.Proc, prev *migrationState, dst string) {
+	fw := jm.fw
+	fw.migrationSeq++
+	m := &migrationState{
+		seq:        fw.migrationSeq,
+		src:        prev.src,
+		dst:        dst,
+		ranks:      prev.ranks,
+		sus:        prev.sus,
+		suspended:  sim.NewEvent(fw.C.E),
+		qpReady:    sim.NewEvent(fw.C.E),
+		restarted:  sim.NewEvent(fw.C.E),
+		finished:   sim.NewEvent(fw.C.E),
+		imageSums:  prev.imageSums,
+		restoredOK: true,
+		report:     prev.report,
+		watch:      prev.watch,
+		phase:      2,
+		excluded:   prev.excluded,
+	}
+	m.report.Label += fmt.Sprintf(" retry->%s", dst)
+	fw.current = m
+	m.suspended.Fire() // Phase 1 already holds from the previous attempt
+	p.Trace("core.jm", fmt.Sprintf("FTB_MIGRATE retry %s -> %s (seq %d)", m.src, dst, m.seq))
+	jm.client.Publish(p, ftb.Event{
+		Namespace: ftb.NamespaceMVAPICH,
+		Name:      ftb.EventMigrate,
+		Payload:   MigratePayload{Source: m.src, Target: dst, Seq: m.seq},
+	})
+	fw.notifyPhase(p, m.seq, 2)
+	jm.watchAttempt(m)
+}
+
+// resumeInPlace abandons an aborted migration whose source is intact: the
+// suspension is lifted and the job continues where it was.
+func (jm *JobManager) resumeInPlace(p *sim.Proc, m *migrationState) {
+	m.watch.Lap("Aborted", p.Now())
+	m.sus.Resume()
+	m.sus.WaitAllResumed(p)
+	m.watch.Lap(metrics.PhaseResume, p.Now())
+	// The processes never moved; the original images are intact.
+	jm.fw.lastVerified = true
+	jm.finishCycle(p, m, false)
+}
+
+// crFallback restores the whole job from the last Framework.Checkpoint: the
+// migration lost the race against the failure it was trying to outrun. Ranks
+// whose node is gone restore onto fresh spares (1:1 per lost node); everyone
+// else restores in place. Without a prior checkpoint the job is lost.
+func (jm *JobManager) crFallback(p *sim.Proc, m *migrationState) {
+	fw := jm.fw
+	jm.CRFallbacks++
+	m.report.Extra["cr_fallbacks"]++
+	if fw.ckpt == nil {
+		jm.abandon(p, m, "source lost and no checkpoint exists")
+		return
+	}
+	placement := make(map[int]string)
+	used := make(map[string]bool)
+	for k := range m.excluded {
+		used[k] = true
+	}
+	spareFor := make(map[string]string)
+	for _, r := range fw.W.Ranks() {
+		node := r.Node()
+		if jm.nodeUsable(node) {
+			continue
+		}
+		sp, have := spareFor[node]
+		if !have {
+			sp = jm.pickSpare(used)
+			if sp == "" {
+				jm.abandon(p, m, "not enough spares for CR fallback")
+				return
+			}
+			spareFor[node] = sp
+			used[sp] = true
+		}
+		placement[r.ID()] = sp
+	}
+	p.Trace("core.jm", fmt.Sprintf("migration #%d: CR fallback (%d ranks relocated)", m.seq, len(placement)))
+	if err := fw.ckpt.RestartInPlace(p, placement); err != nil {
+		jm.abandon(p, m, "CR fallback failed: "+err.Error())
+		return
+	}
+	// Every node hosting ranks again is an active primary.
+	hosts := make(map[string]bool)
+	for _, r := range fw.W.Ranks() {
+		hosts[r.Node()] = true
+	}
+	for _, nla := range fw.nlaList {
+		if hosts[nla.node.Name] && nla.State() != StateReady {
+			nla.setState(StateReady)
+		}
+	}
+	m.watch.Lap("CR Fallback", p.Now())
+	m.sus.Resume()
+	m.sus.WaitAllResumed(p)
+	m.watch.Lap(metrics.PhaseResume, p.Now())
+	jm.fw.lastVerified = fw.ckpt.Verified
+	jm.finishCycle(p, m, false)
+}
+
+// abandon gives up on the job: recovery is impossible. The suspension is NOT
+// lifted (there is nothing consistent to resume into); the job stays frozen
+// and JobLost records why.
+func (jm *JobManager) abandon(p *sim.Proc, m *migrationState, reason string) {
+	jm.JobLost = true
+	p.Trace("core.jm", fmt.Sprintf("migration #%d: job lost — %s", m.seq, reason))
+	jm.fw.Reports = append(jm.fw.Reports, m.report)
+	jm.fw.current = nil
+	m.finished.Fire()
+	jm.fireCompletions()
+}
+
+// finishCycle closes out a migration cycle (successful or recovered).
+func (jm *JobManager) finishCycle(p *sim.Proc, m *migrationState, completed bool) {
+	fw := jm.fw
+	fw.Reports = append(fw.Reports, m.report)
+	fw.current = nil
+	if completed {
+		jm.MigrationsDone++
+	}
+	m.finished.Fire()
+	jm.fireCompletions()
+	jm.drainPending(p)
+}
+
+func (jm *JobManager) drainPending(p *sim.Proc) {
+	if jm.fw.current != nil || jm.fw.ckptActive || len(jm.pending) == 0 {
+		return
+	}
+	next := jm.pending[0]
+	jm.pending = jm.pending[1:]
+	jm.startMigration(p, next)
 }
 
 // fireCompletions fires the oldest outstanding trigger's completion event

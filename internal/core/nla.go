@@ -87,7 +87,7 @@ func (a *NLA) loop(p *sim.Proc, sub *ftb.Subscription) {
 				continue
 			}
 			m := a.fw.current
-			if m == nil || m.seq != pl.Seq {
+			if m == nil || m.seq != pl.Seq || m.aborted {
 				continue
 			}
 			if pl.Target == a.node.Name {
@@ -102,12 +102,45 @@ func (a *NLA) loop(p *sim.Proc, sub *ftb.Subscription) {
 				continue
 			}
 			m := a.fw.current
-			if m == nil || m.seq != pl.Seq {
+			if m == nil || m.seq != pl.Seq || m.aborted {
 				continue
 			}
+			if m.restartSpawned {
+				// A re-published FTB_RESTART after a suspected loss. If the
+				// restart already finished, it was the DONE notification that
+				// got lost — resend it; otherwise the running restart will
+				// publish it on its own.
+				if m.restarted.Fired() {
+					a.client.Publish(p, ftb.Event{
+						Namespace: ftb.NamespaceMVAPICH,
+						Name:      eventRestartDone,
+						Payload:   m.seq,
+					})
+				}
+				continue
+			}
+			m.restartSpawned = true
 			p.SpawnChild("core.nla.restart."+a.node.Name, func(rp *sim.Proc) { a.runRestart(rp, m) })
 		}
 	}
+}
+
+// reportFailure publishes a MIGRATE_FAILED event for the attempt. node names
+// the machine the reporter blames, or "" when the fault cannot be localized
+// (a transport error implicates either endpoint). Errors surfacing while the
+// attempt is already being torn down are the abort's own debris and are not
+// reported.
+func (a *NLA) reportFailure(p *sim.Proc, m *migrationState, node, what string, err error) {
+	if m.aborted {
+		return
+	}
+	p.Trace("core.nla", fmt.Sprintf("%s: %s: %v", a.node.Name, what, err))
+	a.client.Publish(p, ftb.Event{
+		Namespace: ftb.NamespaceMVAPICH,
+		Name:      eventMigrateFailed,
+		Severity:  "ERROR",
+		Payload:   FailurePayload{Seq: m.seq, Node: node, Reason: what + ": " + err.Error()},
+	})
 }
 
 // runSource executes Phase 2 on the migration source: once the job is
@@ -116,9 +149,17 @@ func (a *NLA) loop(p *sim.Proc, sub *ftb.Subscription) {
 // FTB_MIGRATE_PIIC when the target confirms complete receipt.
 func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 	m.suspended.Wait(p)
+	if m.aborted {
+		return
+	}
 	opts := a.fw.opts
 
 	src := newSrcBufMgr(p, a.fw, a.node, m)
+	m.srcBM = src
+	if m.aborted { // torn down while the transport was being set up
+		src.abort()
+		return
+	}
 	m.qpReady.Fire()
 
 	// Record pre-migration image identity (meta-level, no simulated cost).
@@ -135,26 +176,36 @@ func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 	for _, r := range m.ranks {
 		r := r
 		p.SpawnChild(fmt.Sprintf("core.crthread.%d", r.ID()), func(cp *sim.Proc) {
+			defer wg.Done()
 			sink := src.sink(r.ID())
 			info, err := blcr.Checkpoint(cp, r.OS, nil, sink, blcr.Options{Hash: opts.Hash})
-			if err != nil {
-				panic(fmt.Sprintf("core: checkpoint rank %d: %v", r.ID(), err))
+			if err == nil {
+				err = sink.close(cp, info.Bytes)
 			}
-			sink.close(cp, info.Bytes)
+			if err != nil {
+				a.reportFailure(cp, m, "", fmt.Sprintf("checkpoint rank %d", r.ID()), err)
+				return
+			}
 			m.report.BytesMoved += info.Bytes
-			wg.Done()
 		})
 	}
 	wg.Wait(p)
+	if m.aborted {
+		return
+	}
 
 	// Wait until the target confirms it holds every image.
 	src.complete.Wait(p)
+	if m.aborted {
+		return
+	}
 	m.report.Extra["chunks"] = src.ChunksSent
 
 	// The source node is now out of the job.
 	for _, r := range m.ranks {
 		a.node.Procs.Remove(r.OS.PID)
 	}
+	m.srcVacated = true
 	src.close()
 	a.setState(StateInactive)
 	a.client.Publish(p, ftb.Event{
@@ -169,8 +220,18 @@ func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 // in memory under the memory-based restart extensions).
 func (a *NLA) runTarget(p *sim.Proc, m *migrationState) {
 	m.qpReady.Wait(p)
+	if m.aborted {
+		return
+	}
 	tgt := newTargetBufMgr(p, a.fw, a.node, m)
 	m.tgt = tgt
+	if m.aborted { // torn down while the files/pool were being set up
+		tgt.abort()
+		return
+	}
+	tgt.onFail = func(fp *sim.Proc, node, what string, err error) {
+		a.reportFailure(fp, m, node, what, err)
+	}
 	if a.fw.opts.RestartMode == RestartPipelined {
 		// On-the-fly restart: as soon as a rank's image is complete, rebuild
 		// that process — Phase 3 overlaps the rest of Phase 2.
@@ -181,8 +242,13 @@ func (a *NLA) runTarget(p *sim.Proc, m *migrationState) {
 		tgt.onRankComplete = func(rank int) {
 			done := m.pipelineDone[rank]
 			p.SpawnChild(fmt.Sprintf("core.otf-restart.%d", rank), func(rp *sim.Proc) {
-				a.restartRank(rp, m, rank, m.tgt.stream(rank))
-				done.Fire()
+				defer done.Fire()
+				if m.aborted {
+					return
+				}
+				if err := a.restartRank(rp, m, rank, m.tgt.stream(rank)); err != nil {
+					a.reportFailure(rp, m, a.node.Name, fmt.Sprintf("pipelined restart rank %d", rank), err)
+				}
 			})
 		}
 	}
@@ -191,23 +257,27 @@ func (a *NLA) runTarget(p *sim.Proc, m *migrationState) {
 
 // restartRank rebuilds one migrated process from its checkpoint stream,
 // verifies its identity and rebinds the MPI rank to this node.
-func (a *NLA) restartRank(p *sim.Proc, m *migrationState, rank int, src blcr.Source) {
+func (a *NLA) restartRank(p *sim.Proc, m *migrationState, rank int, src blcr.Source) error {
 	restored, err := blcr.Restart(p, src, a.node.Procs, blcr.RestartOptions{Verify: a.fw.opts.Hash})
 	if err != nil {
-		panic(fmt.Sprintf("core: restart rank %d on %s: %v", rank, a.node.Name, err))
+		return err
 	}
 	if a.fw.opts.Hash && restored.Checksum() != m.imageSums[rank] {
 		m.restoredOK = false
 	}
 	a.fw.W.Rebind(rank, a.node.Name, restored)
+	return nil
 }
 
 // runRestart executes Phase 3 on the target: make the images durable (file
 // mode), restart every migrated process with BLCR, rebind the MPI ranks to
 // this node, and publish FTB_RESTART_DONE. Under pipelined restart the
-// processes are already being rebuilt; this phase only joins them.
+// processes are already being rebuilt; this phase only joins them. On error,
+// no DONE is published — the failure report (or the phase deadline) moves the
+// Job Manager into recovery instead.
 func (a *NLA) runRestart(p *sim.Proc, m *migrationState) {
 	opts := a.fw.opts
+	failed := false
 	if opts.RestartMode == RestartPipelined {
 		for _, r := range m.ranks {
 			m.pipelineDone[r.ID()].Wait(p)
@@ -219,23 +289,35 @@ func (a *NLA) runRestart(p *sim.Proc, m *migrationState) {
 			r := r
 			p.SpawnChild(fmt.Sprintf("core.restart.%d", r.ID()), func(rp *sim.Proc) {
 				defer wg.Done()
+				if m.aborted {
+					return
+				}
 				var srcStream blcr.Source
 				if opts.RestartMode == RestartFile {
 					f := m.tgt.files[r.ID()]
-					f.Sync(rp) // images must be durable before the node joins
+					// Images must be durable before the node joins.
+					if err := f.Sync(rp); err != nil {
+						a.reportFailure(rp, m, a.node.Name, fmt.Sprintf("sync image of rank %d", r.ID()), err)
+						failed = true
+						return
+					}
 					srcStream = blcr.FileSource{F: f}
 				} else {
 					srcStream = m.tgt.stream(r.ID())
 				}
-				a.restartRank(rp, m, r.ID(), srcStream)
+				if err := a.restartRank(rp, m, r.ID(), srcStream); err != nil {
+					a.reportFailure(rp, m, a.node.Name, fmt.Sprintf("restart rank %d", r.ID()), err)
+					failed = true
+				}
 			})
 		}
 		wg.Wait(p)
 	}
+	if m.aborted || failed {
+		return
+	}
 	if opts.RestartMode == RestartFile {
-		for _, r := range m.ranks {
-			m.tgt.files[r.ID()].Close()
-		}
+		m.tgt.closeFiles()
 	}
 	m.restarted.Fire()
 	a.setState(StateReady)

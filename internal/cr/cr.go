@@ -15,6 +15,7 @@
 package cr
 
 import (
+	"errors"
 	"fmt"
 
 	"ibmig/internal/blcr"
@@ -63,6 +64,7 @@ type Runner struct {
 
 	sums  map[int]uint64
 	files map[int]string
+	nodes map[int]string // node each rank occupied at checkpoint time
 }
 
 // NewRunner creates a CR runner for the job.
@@ -84,6 +86,7 @@ func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
 	watch := metrics.NewStopwatch(rep, p.Now())
 	r.sums = make(map[int]uint64)
 	r.files = make(map[int]string)
+	r.nodes = make(map[int]string)
 
 	// Job Stall: identical machinery to migration Phase 1.
 	s := r.W.BeginSuspend()
@@ -147,13 +150,14 @@ func (r *Runner) checkpointRank(cp *sim.Proc, rk *mpi.Rank) int64 {
 	}
 	name := ckptName(rk.ID())
 	r.files[rk.ID()] = name
+	r.nodes[rk.ID()] = rk.Node()
 	var info *blcr.ImageInfo
 	var err error
 	if r.Target == Ext3 {
 		f := r.C.Node(rk.Node()).FS.Create(cp, name)
 		info, err = blcr.Checkpoint(cp, rk.OS, nil, blcr.FileSink{F: f}, blcr.Options{Hash: r.Hash})
 		if err == nil {
-			f.Sync(cp)
+			err = f.Sync(cp)
 		}
 		f.Close()
 	} else {
@@ -225,6 +229,103 @@ func (r *Runner) Restart(p *sim.Proc) sim.Duration {
 	}
 	wg.Wait(p)
 	return p.Now().Sub(start)
+}
+
+// RestartInPlace restores the whole job from its last checkpoint into the
+// live cluster — the CR-fallback path the migration framework takes when a
+// node dies mid-migration and the proactive race is lost. placement overrides
+// the hosting node for ranks whose current node can no longer run them (dead
+// node, failed adapter); ranks absent from the map restore onto their current
+// node. The old process incarnations are removed first, each restored process
+// is adopted with its original PID, and the MPI rank is rebound to its
+// (possibly new) node. The job must be globally suspended by the caller.
+// Caches are dropped before reading (ext3): a post-failure restart is cold.
+func (r *Runner) RestartInPlace(p *sim.Proc, placement map[int]string) error {
+	if r.files == nil {
+		return errors.New("cr: RestartInPlace before Checkpoint")
+	}
+	ranks := r.W.Ranks()
+	dest := make(map[int]string, len(ranks))
+	for _, rk := range ranks {
+		node := rk.Node()
+		if over, ok := placement[rk.ID()]; ok {
+			node = over
+		}
+		if !r.C.NodeAlive(node) {
+			return fmt.Errorf("cr: rank %d placed on dead node %s", rk.ID(), node)
+		}
+		if r.Target == Ext3 {
+			// An ext3 image is only reachable from the node whose disk holds
+			// it; a dead node takes its local checkpoints with it.
+			if home := r.nodes[rk.ID()]; home != node {
+				return fmt.Errorf("cr: ext3 image of rank %d is on %s, unreachable from %s", rk.ID(), home, node)
+			}
+		}
+		dest[rk.ID()] = node
+	}
+	// Remove the old incarnations before adopting restored ones: PIDs are
+	// preserved across restart, and some tables may already be empty (crashed
+	// node) or hold partially migrated processes.
+	for _, rk := range ranks {
+		if n := r.C.Node(rk.Node()); n != nil {
+			n.Procs.Remove(rk.OS.PID)
+		}
+	}
+	if r.Target == Ext3 {
+		dropped := make(map[string]bool)
+		for _, node := range dest {
+			if !dropped[node] {
+				dropped[node] = true
+				r.C.Node(node).FS.DropCaches()
+			}
+		}
+	}
+	r.Verified = true
+	var firstErr error
+	wg := sim.NewWaitGroup(r.C.E)
+	wg.Add(len(ranks))
+	for _, rk := range ranks {
+		rk := rk
+		p.SpawnChild(fmt.Sprintf("cr.fallback.%d", rk.ID()), func(rp *sim.Proc) {
+			defer wg.Done()
+			node := dest[rk.ID()]
+			var src blcr.Source
+			if r.Target == Ext3 {
+				f, err := r.C.Node(node).FS.Open(rp, r.files[rk.ID()])
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				defer f.Close()
+				src = blcr.FileSource{F: f}
+			} else {
+				h, err := r.C.PVFS.Open(rp, node, r.files[rk.ID()])
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				defer h.Close()
+				src = blcr.FileSource{F: h}
+			}
+			restored, err := blcr.Restart(rp, src, r.C.Node(node).Procs, blcr.RestartOptions{Verify: r.Hash})
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cr: restart rank %d on %s: %w", rk.ID(), node, err)
+				}
+				return
+			}
+			if r.Hash && restored.Checksum() != r.sums[rk.ID()] {
+				r.Verified = false
+			}
+			r.W.Rebind(rk.ID(), node, restored)
+		})
+	}
+	wg.Wait(p)
+	return firstErr
 }
 
 // FullCycle checkpoints and then measures the restart, returning the

@@ -1,4 +1,4 @@
-package cr
+package cr_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 
 	"ibmig/internal/cluster"
 	"ibmig/internal/core"
+	"ibmig/internal/cr"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
 	"ibmig/internal/sim"
@@ -27,11 +28,11 @@ func launchJob(t *testing.T) (*sim.Engine, *cluster.Cluster, *core.Framework, *n
 func TestCheckpointCycleExt3(t *testing.T) {
 	e, c, fw, res, w := launchJob(t)
 	var rep *metrics.Report
-	var runner *Runner
+	var runner *cr.Runner
 	e.Spawn("ctl", func(p *sim.Proc) {
 		fw.W.WaitReady(p)
 		p.Sleep(20 * time.Millisecond)
-		runner = NewRunner(c, fw.W, Ext3, true)
+		runner = cr.NewRunner(c, fw.W, cr.Ext3, true)
 		rep = runner.FullCycle(p)
 		fw.W.WaitDone(p)
 		e.Stop()
@@ -67,11 +68,11 @@ func TestCheckpointCycleExt3(t *testing.T) {
 func TestCheckpointCyclePVFS(t *testing.T) {
 	e, c, fw, _, _ := launchJob(t)
 	var rep *metrics.Report
-	var runner *Runner
+	var runner *cr.Runner
 	e.Spawn("ctl", func(p *sim.Proc) {
 		fw.W.WaitReady(p)
 		p.Sleep(20 * time.Millisecond)
-		runner = NewRunner(c, fw.W, PVFS, true)
+		runner = cr.NewRunner(c, fw.W, cr.PVFS, true)
 		rep = runner.FullCycle(p)
 		fw.W.WaitDone(p)
 		e.Stop()
@@ -96,13 +97,13 @@ func TestPVFSSlowerThanExt3UnderContention(t *testing.T) {
 	// The paper's central storage observation: dumping all images to the
 	// shared PVFS is slower than node-local ext3 because the streams contend
 	// on 4 server disks instead of spreading over all node disks.
-	run := func(target Target) sim.Duration {
+	run := func(target cr.Target) sim.Duration {
 		e, c, fw, _, _ := launchJob(t)
 		var d sim.Duration
 		e.Spawn("ctl", func(p *sim.Proc) {
 			fw.W.WaitReady(p)
 			p.Sleep(20 * time.Millisecond)
-			rep := NewRunner(c, fw.W, target, false).Checkpoint(p)
+			rep := cr.NewRunner(c, fw.W, target, false).Checkpoint(p)
 			d = rep.Phase(metrics.PhaseCkpt)
 			fw.W.WaitDone(p)
 			e.Stop()
@@ -113,8 +114,8 @@ func TestPVFSSlowerThanExt3UnderContention(t *testing.T) {
 		e.Shutdown()
 		return d
 	}
-	ext3 := run(Ext3)
-	pvfs := run(PVFS)
+	ext3 := run(cr.Ext3)
+	pvfs := run(cr.PVFS)
 	if pvfs <= ext3 {
 		t.Fatalf("PVFS checkpoint (%v) not slower than ext3 (%v)", pvfs, ext3)
 	}
@@ -133,7 +134,7 @@ func TestMigrationBeatsFullCRCycle(t *testing.T) {
 		done.Wait(p)
 		migTotal = fw.Reports[0].Total()
 		migBytes = fw.Reports[0].BytesMoved
-		rep := NewRunner(c, fw.W, PVFS, false).FullCycle(p)
+		rep := cr.NewRunner(c, fw.W, cr.PVFS, false).FullCycle(p)
 		crTotal = rep.Total()
 		crBytes = rep.BytesMoved
 		fw.W.WaitDone(p)
@@ -160,7 +161,7 @@ func TestRestartBeforeCheckpointPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	r := &Runner{C: c}
+	r := &cr.Runner{C: c}
 	r.Restart(nil)
 }
 
@@ -169,7 +170,7 @@ func TestWriteAggregationSpeedsUpCheckpoints(t *testing.T) {
 	// needs real contention — the paper's 8 writers per node — so this test
 	// uses 64 ranks at 8 per node (the op overheads that aggregation
 	// serializes must be amortized over enough interleaved streams).
-	run := func(target Target, aggregate bool) sim.Duration {
+	run := func(target cr.Target, aggregate bool) sim.Duration {
 		e := sim.NewEngine(23)
 		c := cluster.New(e, cluster.Config{ComputeNodes: 4, SpareNodes: 1, PVFSServers: 4})
 		w := npb.New(npb.LU, npb.ClassS, 32)
@@ -179,7 +180,7 @@ func TestWriteAggregationSpeedsUpCheckpoints(t *testing.T) {
 		e.Spawn("ctl", func(p *sim.Proc) {
 			fw.W.WaitReady(p)
 			p.Sleep(10 * time.Millisecond)
-			runner := NewRunner(c, fw.W, target, true)
+			runner := cr.NewRunner(c, fw.W, target, true)
 			runner.Aggregate = aggregate
 			rep := runner.FullCycle(p)
 			if !runner.Verified {
@@ -195,7 +196,7 @@ func TestWriteAggregationSpeedsUpCheckpoints(t *testing.T) {
 		e.Shutdown()
 		return d
 	}
-	for _, target := range []Target{Ext3, PVFS} {
+	for _, target := range []cr.Target{cr.Ext3, cr.PVFS} {
 		plain := run(target, false)
 		agg := run(target, true)
 		if agg >= plain {

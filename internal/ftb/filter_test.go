@@ -1,0 +1,109 @@
+package ftb
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/sim"
+)
+
+func TestFilterDropsMatchingEvent(t *testing.T) {
+	e, bp, nodes := deploy(t, 4, 2)
+	dropLeft := 1
+	bp.SetFilter(func(ev Event) (Verdict, sim.Duration) {
+		if ev.Name == EventRestart && dropLeft > 0 {
+			dropLeft--
+			return Drop, 0
+		}
+		return Deliver, 0
+	})
+	cl := bp.Connect(nodes[1], "listener")
+	sub := cl.Subscribe(NamespaceMVAPICH, "")
+	var got []string
+	e.Spawn("listen", func(p *sim.Proc) {
+		for {
+			ev, ok := sub.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, ev.Name)
+		}
+	})
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		// First FTB_RESTART is swallowed; the retransmission goes through.
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventRestart})
+		p.Sleep(10 * time.Millisecond)
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventRestart})
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventMigrate})
+	})
+	drive(t, e, time.Second)
+	if len(got) != 2 || got[0] != EventRestart || got[1] != EventMigrate {
+		t.Fatalf("delivered %v, want exactly one %s then %s", got, EventRestart, EventMigrate)
+	}
+	if bp.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", bp.Dropped)
+	}
+}
+
+func TestFilterDelaysDelivery(t *testing.T) {
+	e, bp, nodes := deploy(t, 4, 2)
+	const hold = 300 * time.Millisecond
+	delayed := false
+	bp.SetFilter(func(ev Event) (Verdict, sim.Duration) {
+		if ev.Name == EventMigrate && !delayed {
+			delayed = true
+			return Delay, hold
+		}
+		return Deliver, 0
+	})
+	cl := bp.Connect(nodes[2], "listener")
+	sub := cl.Subscribe(NamespaceMVAPICH, "")
+	var arrival sim.Time
+	e.Spawn("listen", func(p *sim.Proc) {
+		if _, ok := sub.Recv(p); ok {
+			arrival = p.Now()
+		}
+	})
+	var sent sim.Time
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		sent = p.Now()
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventMigrate})
+	})
+	drive(t, e, time.Second)
+	if arrival == 0 {
+		t.Fatal("delayed event never arrived")
+	}
+	if lag := arrival.Sub(sent); lag < hold {
+		t.Errorf("event arrived after %v, want >= %v", lag, hold)
+	}
+	if bp.Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", bp.Delayed)
+	}
+}
+
+func TestNilFilterDeliversEverything(t *testing.T) {
+	e, bp, nodes := deploy(t, 3, 2)
+	bp.SetFilter(func(ev Event) (Verdict, sim.Duration) { return Drop, 0 })
+	bp.SetFilter(nil) // removing the filter restores normal delivery
+	cl := bp.Connect(nodes[1], "listener")
+	sub := cl.Subscribe(NamespaceMVAPICH, "")
+	gotOne := false
+	e.Spawn("listen", func(p *sim.Proc) {
+		if _, ok := sub.Recv(p); ok {
+			gotOne = true
+		}
+	})
+	pub := bp.Connect(nodes[0], "pub")
+	e.Spawn("pub", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		pub.Publish(p, Event{Namespace: NamespaceMVAPICH, Name: EventMigrate})
+	})
+	drive(t, e, time.Second)
+	if !gotOne {
+		t.Fatal("event lost after filter removal")
+	}
+}

@@ -63,7 +63,30 @@ type Backplane struct {
 
 	Published uint64
 	Delivered uint64
+	Dropped   uint64 // events discarded by the publish filter
+	Delayed   uint64 // events held back by the publish filter
+
+	filter Filter
 }
+
+// Verdict is a publish filter's decision for one event.
+type Verdict int
+
+// Filter verdicts.
+const (
+	Deliver Verdict = iota // pass the event through unchanged
+	Drop                   // silently lose the event
+	Delay                  // deliver after the returned duration
+)
+
+// Filter inspects an event at its injection point (before it reaches the
+// publisher's local agent) and decides its fate — the hook fault injection
+// uses to model lost or late FTB notifications. The returned duration is
+// only meaningful for Delay.
+type Filter func(ev Event) (Verdict, sim.Duration)
+
+// SetFilter installs (or, with nil, removes) the publish filter.
+func (bp *Backplane) SetFilter(f Filter) { bp.filter = f }
 
 // envelope is an event in transit inside an agent, tagged with the tree edge
 // it arrived on (nil for local clients) so it is not echoed back.
@@ -312,5 +335,24 @@ func (c *Client) Publish(p *sim.Proc, ev Event) {
 	c.bp.Published++
 	p.Sleep(clientHop)
 	c.bp.E.Trace("ftb.publish", c.name, ev.String())
+	if c.bp.filter != nil {
+		verdict, d := c.bp.filter(ev)
+		switch verdict {
+		case Drop:
+			c.bp.Dropped++
+			c.bp.E.Trace("ftb.drop", c.name, ev.String())
+			return
+		case Delay:
+			c.bp.Delayed++
+			c.bp.E.Trace("ftb.delay", c.name, ev.String())
+			agent := c.agent
+			c.bp.E.After(d, func() {
+				if agent.alive {
+					agent.inbox.TrySend(envelope{ev: ev})
+				}
+			})
+			return
+		}
+	}
 	c.agent.inbox.TrySend(envelope{ev: ev})
 }

@@ -29,6 +29,7 @@ var (
 	ErrInvalidRKey = errors.New("ib: invalid or revoked rkey")
 	ErrOutOfBounds = errors.New("ib: access beyond memory region bounds")
 	ErrUnknownNode = errors.New("ib: unknown node")
+	ErrHCADown     = errors.New("ib: adapter or link is down")
 )
 
 // Config sets the fabric's link parameters. Zero values fall back to the
@@ -131,9 +132,33 @@ type HCA struct {
 	nextQPN  int
 	nextRKey uint32
 	mrs      map[uint32]*MR
+	qps      []*QP // local endpoints, in creation order
+	failed   bool
 
 	BytesTx int64
 	BytesRx int64
+}
+
+// Failed reports whether the adapter (or its link) has been failed.
+func (h *HCA) Failed() bool { return h.failed }
+
+// Fail takes the adapter down, modelling a fatal HCA or link error: every
+// registered MR is invalidated and every QP with an endpoint here is errored
+// on both sides (RC connections break symmetrically). Blocked receivers wake
+// with ok=false; subsequent verbs calls return ErrHCADown. Idempotent.
+func (h *HCA) Fail() {
+	if h.failed {
+		return
+	}
+	h.failed = true
+	for _, mr := range h.mrs {
+		mr.valid = false
+	}
+	h.mrs = make(map[uint32]*MR)
+	for _, q := range h.qps {
+		q.breakConn()
+		q.peer.breakConn()
+	}
 }
 
 // Node returns the owning node's name.
@@ -148,8 +173,10 @@ func (h *HCA) RegisterMR(p *sim.Proc, region *mem.Region) *MR {
 	pages := (region.Size() + calib.PageSize - 1) / calib.PageSize
 	p.Sleep(calib.IBMRRegisterBase + sim.Duration(pages)*calib.IBMRRegisterPerPage)
 	h.nextRKey++
-	mr := &MR{hca: h, rkey: h.nextRKey, region: region, valid: true}
-	h.mrs[mr.rkey] = mr
+	mr := &MR{hca: h, rkey: h.nextRKey, region: region, valid: !h.failed}
+	if !h.failed {
+		h.mrs[mr.rkey] = mr
+	}
 	return mr
 }
 
@@ -213,22 +240,49 @@ type QP struct {
 }
 
 // ConnectQP establishes a reliable connection between two HCAs, paying the
-// QP setup cost in the calling process, and returns the two endpoints.
+// QP setup cost in the calling process, and returns the two endpoints. If
+// either adapter is failed the connection cannot be brought up: the endpoints
+// are returned already broken, so the first verbs call reports ErrHCADown.
 func ConnectQP(p *sim.Proc, a, b *HCA) (*QP, *QP) {
 	p.Sleep(calib.IBQPSetup)
 	mk := func(h *HCA) *QP {
 		h.nextQPN++
-		return &QP{
+		q := &QP{
 			hca:   h,
 			num:   h.nextQPN,
 			open:  true,
 			recvQ: sim.NewQueue[Message](h.f.E, fmt.Sprintf("qp.%s.%d", h.node, h.nextQPN), 0),
 			idle:  sim.NewGate(h.f.E, true),
 		}
+		h.qps = append(h.qps, q)
+		return q
 	}
 	qa, qb := mk(a), mk(b)
 	qa.peer, qb.peer = qb, qa
+	if a.failed || b.failed {
+		qa.breakConn()
+		qb.breakConn()
+	}
 	return qa, qb
+}
+
+// breakConn errors this endpoint in place: it stops accepting work and wakes
+// any blocked receiver. Unlike Close it represents a fault, not a graceful
+// teardown.
+func (q *QP) breakConn() {
+	q.open = false
+	q.recvQ.Close()
+}
+
+// err classifies the connection state for a verbs call on this endpoint.
+func (q *QP) err() error {
+	if q.hca.failed || q.peer.hca.failed {
+		return ErrHCADown
+	}
+	if !q.open || !q.peer.open {
+		return ErrQPClosed
+	}
+	return nil
 }
 
 // Open reports whether the endpoint is usable.
@@ -253,8 +307,8 @@ func (q *QP) addInflight(n int) {
 // helper process and the message is appended to the peer's receive queue when
 // the last byte lands. Returns ErrQPClosed if the endpoint is down.
 func (q *QP) PostSend(m Message) error {
-	if !q.open || !q.peer.open {
-		return ErrQPClosed
+	if err := q.err(); err != nil {
+		return err
 	}
 	m.From = q.hca.node
 	q.addInflight(1)
@@ -274,8 +328,8 @@ func (q *QP) PostSend(m Message) error {
 // Send transmits synchronously: the calling process performs the wire work
 // and returns once the message is delivered to the peer's receive queue.
 func (q *QP) Send(p *sim.Proc, m Message) error {
-	if !q.open || !q.peer.open {
-		return ErrQPClosed
+	if err := q.err(); err != nil {
+		return err
 	}
 	m.From = q.hca.node
 	q.addInflight(1)
@@ -283,8 +337,9 @@ func (q *QP) Send(p *sim.Proc, m Message) error {
 	q.BytesSent += m.Size()
 	q.MsgsSent++
 	q.hca.f.transfer(p, q.hca, q.peer.hca, m.Size())
-	if !q.peer.open {
-		return ErrQPClosed
+	// The connection may have broken while the bytes were on the wire.
+	if err := q.err(); err != nil {
+		return err
 	}
 	q.peer.recvQ.TrySend(m)
 	return nil
@@ -307,8 +362,8 @@ func (q *QP) RecvLen() int { return q.recvQ.Len() }
 // serialization, modelling the one-sided, remote-CPU-free semantics of
 // InfiniBand RDMA Read that the paper's migration strategy exploits.
 func (q *QP) RDMARead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, error) {
-	if !q.open || !q.peer.open {
-		return payload.Buffer{}, ErrQPClosed
+	if err := q.err(); err != nil {
+		return payload.Buffer{}, err
 	}
 	responder := q.hca.f.hcas[rk.Node]
 	if responder == nil {
@@ -320,6 +375,9 @@ func (q *QP) RDMARead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, 
 	p.Sleep(calib.IBRDMAReadRequest)
 	q.hca.tx.Hold(p, 1, q.hca.f.serialization(64))
 	p.Sleep(q.hca.f.cfg.Latency)
+	if responder.failed || q.hca.failed {
+		return payload.Buffer{}, ErrHCADown
+	}
 	// Responder-side validity check happens in hardware (no remote CPU).
 	mr := responder.mrs[rk.Key]
 	if mr == nil || !mr.valid {
@@ -338,18 +396,26 @@ func (q *QP) RDMARead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, 
 	p.Sleep(q.hca.f.cfg.Latency)
 	q.hca.rx.Hold(p, 1, s)
 	q.hca.BytesRx += n
+	// An in-flight read that crossed an adapter failure completes in error,
+	// not with data — the RC connection is gone.
+	if responder.failed || q.hca.failed {
+		return payload.Buffer{}, ErrHCADown
+	}
 	return data, nil
 }
 
 // RDMAWrite pushes data into the remote region identified by rk at offset
 // off. The calling process performs the wire work.
 func (q *QP) RDMAWrite(p *sim.Proc, rk RemoteKey, off int64, data payload.Buffer) error {
-	if !q.open || !q.peer.open {
-		return ErrQPClosed
+	if err := q.err(); err != nil {
+		return err
 	}
 	target := q.hca.f.hcas[rk.Node]
 	if target == nil {
 		return ErrUnknownNode
+	}
+	if target.failed {
+		return ErrHCADown
 	}
 	mr := target.mrs[rk.Key]
 	if mr == nil || !mr.valid {
@@ -362,6 +428,9 @@ func (q *QP) RDMAWrite(p *sim.Proc, rk RemoteKey, off int64, data payload.Buffer
 	q.addInflight(1)
 	defer q.addInflight(-1)
 	q.hca.f.transfer(p, q.hca, target, n)
+	if target.failed || q.hca.failed {
+		return ErrHCADown
+	}
 	// Re-validate: the registration may have been revoked mid-flight.
 	if !mr.Valid() {
 		return ErrInvalidRKey

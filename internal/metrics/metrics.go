@@ -4,6 +4,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ibmig/internal/sim"
@@ -72,6 +73,16 @@ func (r *Report) String() string {
 	}
 	if r.BytesMoved > 0 {
 		fmt.Fprintf(&b, " | moved %.1f MB", float64(r.BytesMoved)/(1<<20))
+	}
+	if len(r.Extra) > 0 {
+		keys := make([]string, 0, len(r.Extra))
+		for k := range r.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " | %s=%d", k, r.Extra[k])
+		}
 	}
 	return b.String()
 }

@@ -113,6 +113,10 @@ func (t *Table) Adopt(pr *Process) error {
 // Remove deletes a process from the table (exit or migration away).
 func (t *Table) Remove(pid int) { delete(t.procs, pid) }
 
+// Clear empties the table — every process is gone at once, as when the node
+// hosting it crashes.
+func (t *Table) Clear() { t.procs = make(map[int]*Process) }
+
 // Get returns the process with the given PID, or nil.
 func (t *Table) Get(pid int) *Process { return t.procs[pid] }
 

@@ -7,9 +7,14 @@
 package vfs
 
 import (
+	"errors"
+
 	"ibmig/internal/calib"
 	"ibmig/internal/sim"
 )
+
+// ErrDiskFailed is returned by write paths once a device has failed.
+var ErrDiskFailed = errors.New("vfs: disk failed")
 
 // diskOpChunk is the granularity at which the device is occupied, letting
 // concurrent streams interleave like a real elevator-scheduled disk.
@@ -27,10 +32,19 @@ type Disk struct {
 
 	head    *sim.Resource
 	streams int
+	failed  bool
 
 	BytesWritten int64
 	BytesRead    int64
 }
+
+// Fail marks the device broken: subsequent writes return ErrDiskFailed.
+// Reads keep working (an ext3 journal abort remounts read-only; already
+// written sectors stay readable in this model). Idempotent.
+func (d *Disk) Fail() { d.failed = true }
+
+// Failed reports whether the device has failed.
+func (d *Disk) Failed() bool { return d.failed }
 
 // DiskConfig overrides device parameters; zero values use calibrated
 // defaults.
@@ -105,10 +119,19 @@ func (d *Disk) xfer(p *sim.Proc, n, bw int64) {
 	}
 }
 
-// Write occupies the device writing n bytes in the calling process.
-func (d *Disk) Write(p *sim.Proc, n int64) {
+// Write occupies the device writing n bytes in the calling process. It
+// returns ErrDiskFailed if the device has failed (also when it fails while
+// the write is in progress — the tail of the transfer is lost).
+func (d *Disk) Write(p *sim.Proc, n int64) error {
+	if d.failed {
+		return ErrDiskFailed
+	}
 	d.BytesWritten += n
 	d.xfer(p, n, d.writeBW)
+	if d.failed {
+		return ErrDiskFailed
+	}
+	return nil
 }
 
 // Read occupies the device reading n bytes in the calling process.

@@ -1,0 +1,118 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ibmig/internal/ib"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+func TestFailedDiskErrorsWrites(t *testing.T) {
+	e := sim.NewEngine(1)
+	disk := NewDisk(e, "d0", slowDisk)
+	fs := NewFileSystem(e, "n0", disk, FSConfig{})
+	e.Spawn("main", func(p *sim.Proc) {
+		f := fs.Create(p, "ckpt.0")
+		if err := f.Append(p, payload.Synth(1, 0, 1024)); err != nil {
+			t.Fatalf("append before failure: %v", err)
+		}
+		disk.Fail()
+		if !disk.Failed() {
+			t.Error("Failed() false after Fail()")
+		}
+		if err := f.Append(p, payload.Synth(1, 1024, 1024)); !errors.Is(err, ErrDiskFailed) {
+			t.Errorf("Append err = %v, want ErrDiskFailed", err)
+		}
+		if err := f.WriteAt(p, 0, payload.Synth(2, 0, 512)); !errors.Is(err, ErrDiskFailed) {
+			t.Errorf("WriteAt err = %v, want ErrDiskFailed", err)
+		}
+		if err := f.Sync(p); !errors.Is(err, ErrDiskFailed) {
+			t.Errorf("Sync err = %v, want ErrDiskFailed", err)
+		}
+		f.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedDiskStillServesCachedReads(t *testing.T) {
+	e := sim.NewEngine(1)
+	disk := NewDisk(e, "d0", slowDisk)
+	fs := NewFileSystem(e, "n0", disk, FSConfig{})
+	want := payload.Synth(7, 0, 4096)
+	e.Spawn("main", func(p *sim.Proc) {
+		f := fs.Create(p, "ckpt.0")
+		if err := f.Append(p, want); err != nil {
+			t.Fatal(err)
+		}
+		disk.Fail()
+		// The data is still in the page cache; losing the disk does not lose
+		// the cached copy.
+		if got := f.ReadAt(p, 0, f.Size()); !got.Equal(want) {
+			t.Error("cached read after disk failure lost content")
+		}
+		f.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInFlightSyncErrorsOnDiskFailure(t *testing.T) {
+	e := sim.NewEngine(1)
+	disk := NewDisk(e, "d0", slowDisk) // 1 MB/s: a 1 MB sync takes ~1 s
+	fs := NewFileSystem(e, "n0", disk, FSConfig{})
+	var syncErr error
+	returned := false
+	e.Spawn("main", func(p *sim.Proc) {
+		f := fs.Create(p, "ckpt.0")
+		if err := f.Append(p, payload.Synth(3, 0, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		p.SpawnChild("killer", func(kp *sim.Proc) {
+			kp.Sleep(100 * time.Millisecond)
+			disk.Fail()
+		})
+		syncErr = f.Sync(p)
+		returned = true
+		f.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !returned {
+		t.Fatal("Sync hung across a disk failure")
+	}
+	if !errors.Is(syncErr, ErrDiskFailed) {
+		t.Fatalf("in-flight Sync err = %v, want ErrDiskFailed", syncErr)
+	}
+}
+
+func TestPVFSServerDiskFailureErrorsClientWrites(t *testing.T) {
+	e := sim.NewEngine(1)
+	fabric := ib.NewFabric(e, ib.Config{})
+	fabric.AttachHCA("client")
+	fabric.AttachHCA("io01")
+	fabric.AttachHCA("io02")
+	pv := NewPVFS(e, fabric, []string{"io01", "io02"}, 64<<10, slowDisk)
+	e.Spawn("main", func(p *sim.Proc) {
+		h := pv.Create(p, "client", "ckpt.0")
+		if err := h.Append(p, payload.Synth(4, 0, 256<<10)); err != nil {
+			t.Fatalf("append before failure: %v", err)
+		}
+		// Fail one server's disk: a striped write crossing it must error.
+		pv.Servers()[0].Disk.Fail()
+		err := h.Append(p, payload.Synth(4, 256<<10, 256<<10))
+		if !errors.Is(err, ErrDiskFailed) {
+			t.Errorf("striped Append err = %v, want ErrDiskFailed", err)
+		}
+		h.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -148,8 +148,12 @@ func memcpyTime(n int64) sim.Duration {
 // WriteAt writes b at offset off. Data lands dirty in the page cache at
 // memory speed; if the file-system dirty limit is exceeded, the caller is
 // throttled while old dirty data is written back (Linux balance_dirty_pages
-// semantics).
-func (f *File) WriteAt(p *sim.Proc, off int64, b payload.Buffer) {
+// semantics). Once the backing device has failed the file system is
+// effectively remounted read-only and writes return ErrDiskFailed.
+func (f *File) WriteAt(p *sim.Proc, off int64, b payload.Buffer) error {
+	if f.fs.disk.failed {
+		return ErrDiskFailed
+	}
 	n := b.Size()
 	f.c.writeAt(off, b)
 	p.Sleep(memcpyTime(n))
@@ -158,14 +162,17 @@ func (f *File) WriteAt(p *sim.Proc, off int64, b payload.Buffer) {
 	f.fs.cached += n
 	f.fs.dirty += n
 	if f.fs.dirty > f.fs.dirtyLimit {
-		f.fs.writeback(p, f.fs.dirty-f.fs.dirtyLimit)
+		if err := f.fs.writeback(p, f.fs.dirty-f.fs.dirtyLimit); err != nil {
+			return err
+		}
 	}
 	f.fs.evictIfNeeded()
+	return nil
 }
 
 // Append writes b at the end of the file.
-func (f *File) Append(p *sim.Proc, b payload.Buffer) {
-	f.WriteAt(p, f.c.size, b)
+func (f *File) Append(p *sim.Proc, b payload.Buffer) error {
+	return f.WriteAt(p, f.c.size, b)
 }
 
 // ReadAt reads [off, off+n). Resident bytes cost a memory copy; the rest is
@@ -194,14 +201,20 @@ func (f *File) ReadAt(p *sim.Proc, off, n int64) payload.Buffer {
 }
 
 // Sync writes the file's dirty data to the device and commits the journal.
-func (f *File) Sync(p *sim.Proc) {
+func (f *File) Sync(p *sim.Proc) error {
 	if f.dirtyB > 0 {
 		n := f.dirtyB
 		f.dirtyB = 0
 		f.fs.dirty -= n
-		f.fs.disk.Write(p, n)
+		if err := f.fs.disk.Write(p, n); err != nil {
+			return err
+		}
+	}
+	if f.fs.disk.failed {
+		return ErrDiskFailed
 	}
 	f.fs.disk.Op(p)
+	return nil
 }
 
 // Close releases the handle (and its device stream registration).
@@ -218,7 +231,7 @@ func (f *File) Content() payload.Buffer { return f.c.data }
 
 // writeback flushes at least n dirty bytes, oldest files first, charging the
 // calling (throttled) process.
-func (fs *FileSystem) writeback(p *sim.Proc, n int64) {
+func (fs *FileSystem) writeback(p *sim.Proc, n int64) error {
 	for _, f := range fs.order {
 		if n <= 0 {
 			break
@@ -233,22 +246,31 @@ func (fs *FileSystem) writeback(p *sim.Proc, n int64) {
 		f.dirtyB -= take
 		fs.dirty -= take
 		n -= take
-		fs.disk.Write(p, take)
+		if err := fs.disk.Write(p, take); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // SyncAll flushes every dirty byte (called by the CR framework before
 // declaring a checkpoint stable).
-func (fs *FileSystem) SyncAll(p *sim.Proc) {
+func (fs *FileSystem) SyncAll(p *sim.Proc) error {
 	for _, f := range fs.order {
 		if f.dirtyB > 0 {
 			n := f.dirtyB
 			f.dirtyB = 0
 			fs.dirty -= n
-			fs.disk.Write(p, n)
+			if err := fs.disk.Write(p, n); err != nil {
+				return err
+			}
 		}
 	}
+	if fs.disk.failed {
+		return ErrDiskFailed
+	}
 	fs.disk.Op(p)
+	return nil
 }
 
 // DropCaches discards clean resident data (echo 3 > drop_caches); dirty data

@@ -141,8 +141,9 @@ func (h *Handle) Size() int64 { return h.f.c.size }
 func (h *Handle) Name() string { return h.f.name }
 
 // WriteAt writes b at offset off, stripe by stripe: client -> server over the
-// fabric, then synchronously to the server disk.
-func (h *Handle) WriteAt(p *sim.Proc, off int64, b payload.Buffer) {
+// fabric, then synchronously to the server disk. A failed server disk fails
+// the whole write (PVFS has no redundancy).
+func (h *Handle) WriteAt(p *sim.Proc, off int64, b payload.Buffer) error {
 	h.check()
 	n := b.Size()
 	h.pv.BytesWritten += n
@@ -156,13 +157,16 @@ func (h *Handle) WriteAt(p *sim.Proc, off int64, b payload.Buffer) {
 		srv := h.pv.server(h.f, pos)
 		p.Sleep(calib.PVFSPerStripeCPU)
 		_ = h.pv.fabric.Transfer(p, h.clientNode, srv.Node, seg)
-		srv.Disk.Write(p, seg)
+		if err := srv.Disk.Write(p, seg); err != nil {
+			return fmt.Errorf("pvfs server %s: %w", srv.Node, err)
+		}
 		rel += seg
 	}
+	return nil
 }
 
 // Append writes at end of file.
-func (h *Handle) Append(p *sim.Proc, b payload.Buffer) { h.WriteAt(p, h.f.c.size, b) }
+func (h *Handle) Append(p *sim.Proc, b payload.Buffer) error { return h.WriteAt(p, h.f.c.size, b) }
 
 // ReadAt reads [off, off+n): server disk, then server -> client transfer, per
 // stripe.
