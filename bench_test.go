@@ -52,8 +52,12 @@ func phaseRowOf(out exp.MigrationOutcome) exp.PhaseRow {
 }
 
 // BenchmarkFig5AppOverhead regenerates Fig. 5: total execution time with and
-// without one migration. This is the heaviest benchmark (full class C runs).
+// without one migration. This is the heaviest benchmark (full class C runs);
+// -short skips it so the CI bench smoke stays fast.
 func BenchmarkFig5AppOverhead(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full class C end-to-end runs; skipped in -short")
+	}
 	for _, k := range []npb.Kernel{npb.LU, npb.BT, npb.SP} {
 		b.Run(string(k), func(b *testing.B) {
 			var base, migrated float64

@@ -1,0 +1,257 @@
+// Command benchbaseline measures the simulator's performance baseline and
+// writes it to a JSON file (BENCH_sim.json at the repo root, by convention)
+// so kernel regressions show up as a diff, not a feeling.
+//
+// It records three layers:
+//
+//   - kernel microbenchmarks: event throughput, queue ping-pong, same-time
+//     batch dispatch — ns/op and events/sec, via testing.Benchmark
+//   - payload checksum throughput: generator-lane fold (cold) and memoized
+//     (warm) paths
+//   - experiment macrobenchmark: wall time and events/sec of the paper-scale
+//     LU migration-vs-CR comparison (the Fig. 7 workhorse), plus the scale
+//     sweep at increasing -parallel settings with measured speedups
+//
+// Usage:
+//
+//	benchbaseline [-o BENCH_sim.json] [-quick] [-seed N]
+//
+// -quick substitutes the reduced scale (class W / 16 ranks, short sweep
+// ladder) for CI smoke runs. Numbers are host-dependent; the committed
+// BENCH_sim.json records the machine it was measured on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ibmig/internal/core"
+	"ibmig/internal/exp"
+	"ibmig/internal/npb"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// Micro is one kernel microbenchmark result.
+type Micro struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
+// Sweep is one parallelism setting of the scaling study.
+type Sweep struct {
+	Parallelism int     `json:"parallelism"`
+	WallS       float64 `json:"wall_s"`
+	SpeedupX    float64 `json:"speedup_x"`
+}
+
+// Baseline is the whole report.
+type Baseline struct {
+	GeneratedBy string `json:"generated_by"`
+	MeasuredAt  string `json:"measured_at"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Scale       string `json:"scale"`
+
+	Kernel  map[string]Micro `json:"kernel"`
+	Payload struct {
+		ChecksumColdMBps float64 `json:"checksum_cold_MBps"`
+		ChecksumWarmNsOp float64 `json:"checksum_warm_ns_per_op"`
+	} `json:"payload"`
+
+	PaperComparison struct {
+		Kernel  string  `json:"kernel"`
+		WallS   float64 `json:"wall_s"`
+		Events  uint64  `json:"events"`
+		MevPerS float64 `json:"mev_per_s"`
+	} `json:"paper_comparison"`
+
+	SweepScaling []Sweep `json:"sweep_scaling"`
+
+	// PreOptimization pins the numbers measured on the same host immediately
+	// before the hot-path overhaul (ready-ring batching, event freelist, ring
+	// wait lists, checksum memoization), for before/after comparison.
+	PreOptimization map[string]any `json:"pre_optimization"`
+}
+
+func microOf(r testing.BenchmarkResult, events uint64) Micro {
+	m := Micro{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+	if s := r.T.Seconds(); s > 0 {
+		m.EventsPerSec = float64(events) / s
+	}
+	return m
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var b Baseline
+	b.GeneratedBy = "cmd/benchbaseline"
+	b.MeasuredAt = time.Now().UTC().Format(time.RFC3339)
+	b.NumCPU = runtime.NumCPU()
+	b.GoMaxProcs = runtime.GOMAXPROCS(0)
+	b.Kernel = map[string]Micro{}
+
+	sc := exp.PaperScale
+	sweepRanks := exp.DefaultSweepRanks
+	b.Scale = "paper"
+	if *quick {
+		sc = exp.QuickScale
+		sweepRanks = exp.QuickSweepRanks
+		b.Scale = "quick"
+	}
+	sc.Seed = *seed
+
+	// --- kernel microbenchmarks ------------------------------------------
+	fmt.Fprintln(os.Stderr, "kernel microbenchmarks...")
+	var lastEvents uint64
+	r := testing.Benchmark(func(tb *testing.B) {
+		e := sim.NewEngine(1)
+		e.Spawn("ticker", func(p *sim.Proc) {
+			for i := 0; i < tb.N; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		tb.ResetTimer()
+		if err := e.Run(); err != nil {
+			tb.Fatal(err)
+		}
+		lastEvents = e.Events()
+	})
+	b.Kernel["event_throughput"] = microOf(r, lastEvents)
+
+	r = testing.Benchmark(func(tb *testing.B) {
+		e := sim.NewEngine(1)
+		q1 := sim.NewQueue[int](e, "q1", 0)
+		q2 := sim.NewQueue[int](e, "q2", 0)
+		e.Spawn("a", func(p *sim.Proc) {
+			for i := 0; i < tb.N; i++ {
+				q1.Send(p, i)
+				q2.Recv(p)
+			}
+		})
+		e.Spawn("b", func(p *sim.Proc) {
+			for i := 0; i < tb.N; i++ {
+				q1.Recv(p)
+				q2.Send(p, i)
+			}
+		})
+		tb.ResetTimer()
+		if err := e.Run(); err != nil {
+			tb.Fatal(err)
+		}
+		lastEvents = e.Events()
+	})
+	b.Kernel["ping_pong"] = microOf(r, lastEvents)
+
+	r = testing.Benchmark(func(tb *testing.B) {
+		e := sim.NewEngine(1)
+		e.Spawn("driver", func(p *sim.Proc) {
+			for i := 0; i < tb.N; i++ {
+				wg := sim.NewWaitGroup(e)
+				for w := 0; w < 256; w++ {
+					wg.Add(1)
+					p.SpawnChild("w", func(p *sim.Proc) {
+						p.Sleep(time.Microsecond)
+						wg.Done()
+					})
+				}
+				wg.Wait(p)
+			}
+		})
+		tb.ResetTimer()
+		if err := e.Run(); err != nil {
+			tb.Fatal(err)
+		}
+		lastEvents = e.Events()
+	})
+	b.Kernel["same_time_batch_256"] = microOf(r, lastEvents)
+
+	// --- payload ----------------------------------------------------------
+	fmt.Fprintln(os.Stderr, "payload checksum...")
+	r = testing.Benchmark(func(tb *testing.B) {
+		tb.SetBytes(1 << 20)
+		for i := 0; i < tb.N; i++ {
+			_ = payload.Synth(uint64(i)+1, 0, 1<<20).Checksum()
+		}
+	})
+	b.Payload.ChecksumColdMBps = float64(r.Bytes*int64(r.N)) / (1 << 20) / r.T.Seconds()
+	warm := payload.Synth(1, 0, 1<<20)
+	warm.Checksum() // populate cache
+	r = testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			_ = warm.Checksum()
+		}
+	})
+	b.Payload.ChecksumWarmNsOp = float64(r.NsPerOp())
+
+	// --- paper-scale comparison ------------------------------------------
+	// Events come from a separate untimed migration run (RunComparison does
+	// not expose its engine); the Mev/s figure uses that count as a proxy for
+	// per-run event volume.
+	fmt.Fprintln(os.Stderr, "paper-scale LU comparison...")
+	migOut := exp.RunMigration(npb.LU, sc, core.Options{}, false)
+	payload.ResetChecksumCache()
+	start := time.Now()
+	exp.RunComparison(npb.LU, sc, core.Options{})
+	wall := time.Since(start).Seconds()
+	b.PaperComparison.Kernel = "LU"
+	b.PaperComparison.WallS = wall
+	b.PaperComparison.Events = migOut.Events
+	if wall > 0 {
+		b.PaperComparison.MevPerS = float64(migOut.Events) / wall / 1e6
+	}
+
+	// --- sweep scaling ----------------------------------------------------
+	var serialWall float64
+	for _, par := range []int{1, 2, 4, 8} {
+		if par > 2*runtime.NumCPU() && par > 2 {
+			break // oversubscribing further tells us nothing
+		}
+		fmt.Fprintf(os.Stderr, "sweep at parallelism %d...\n", par)
+		exp.SetParallelism(par)
+		payload.ResetChecksumCache()
+		start := time.Now()
+		exp.ScaleSweep(sc, sweepRanks)
+		w := time.Since(start).Seconds()
+		if par == 1 {
+			serialWall = w
+		}
+		sp := Sweep{Parallelism: par, WallS: w}
+		if w > 0 {
+			sp.SpeedupX = serialWall / w
+		}
+		b.SweepScaling = append(b.SweepScaling, sp)
+	}
+	exp.SetParallelism(1)
+
+	// Measured 2026-08-05 on the same host (1 vCPU) at commit 6f7b7e9,
+	// immediately before the overhaul.
+	b.PreOptimization = map[string]any{
+		"event_throughput_ns_per_op": 620.9,
+		"ping_pong_ns_per_op":        1540.0,
+		"paper_fig7_all_wall_s":      12.1,
+		"paper_lu_comparison_wall_s": 8.82,
+	}
+
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (paper comparison %.2fs wall, %.2f Mev/s)\n",
+		*out, b.PaperComparison.WallS, b.PaperComparison.MevPerS)
+}

@@ -11,15 +11,21 @@
 //	socket   ablation: RDMA pull vs socket staging (paper section III-B)
 //	interval checkpoint-interval study: how proactive migration prolongs the
 //	         interval between job-wide checkpoints (paper section VI)
+//	sweep    cluster-scale sweep: LU migration at 64..512 ranks (paper PPN),
+//	         with per-point event counts and simulator throughput
 //
 // Usage:
 //
-//	paperbench [-exp all|fig4|fig5|fig6|fig7|table1|pool|restart|socket]
-//	           [-scale paper|quick] [-seed N]
+//	paperbench [-exp all|fig4|fig5|fig6|fig7|table1|pool|restart|socket|sweep]
+//	           [-scale paper|quick] [-seed N] [-parallel N]
 //
 // At -scale paper the configuration matches the testbed: NPB class C, 64
 // processes on 8 compute nodes plus one spare (Fig. 5 runs each application
 // to completion and takes the longest).
+//
+// -parallel N fans the independent simulations inside each figure across up
+// to N OS threads (0 = GOMAXPROCS). Every simulated number is bit-identical
+// to -parallel 1; only the wall-clock lines change.
 package main
 
 import (
@@ -34,10 +40,13 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval")
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep")
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	exp.SetParallelism(*par)
 
 	sc := exp.PaperScale
 	if *scaleName == "quick" {
@@ -57,7 +66,8 @@ func main() {
 		fmt.Printf("[%s completed in %.1fs wall]\n\n", name, time.Since(start).Seconds())
 	}
 
-	fmt.Printf("Scale: class %c, %d ranks, %d per node, seed %d\n\n", sc.Class, sc.Ranks, sc.PPN, sc.Seed)
+	fmt.Printf("Scale: class %c, %d ranks, %d per node, seed %d, parallelism %d\n\n",
+		sc.Class, sc.Ranks, sc.PPN, sc.Seed, exp.Parallelism())
 
 	var fig7Groups []exp.Fig7Group
 	run("fig4", func() {
@@ -99,5 +109,13 @@ func main() {
 	run("interval", func() {
 		mig, _, pvfs, _ := exp.RunComparison(npb.LU, sc, core.Options{})
 		fmt.Println(exp.FormatInterval(exp.IntervalStudy(mig, pvfs)))
+	})
+	run("sweep", func() {
+		ranks := exp.DefaultSweepRanks
+		if *scaleName == "quick" {
+			ranks = exp.QuickSweepRanks
+		}
+		title := fmt.Sprintf("Scale sweep — LU migration, class %c, %d ranks/node", sc.Class, sc.PPN)
+		fmt.Println(exp.FormatSweep(title, exp.ScaleSweep(sc, ranks)))
 	})
 }

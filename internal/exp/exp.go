@@ -87,6 +87,7 @@ type MigrationOutcome struct {
 	Workload    npb.Workload
 	Report      *metrics.Report
 	AppDuration sim.Duration // end-to-end app time (RunToCompletion only)
+	Events      uint64       // kernel events dispatched (simulator telemetry)
 }
 
 // RunMigration triggers one migration mid-run and returns its phase report.
@@ -108,6 +109,7 @@ func RunMigration(k npb.Kernel, sc Scale, opts core.Options, toCompletion bool) 
 	if len(s.fw.Reports) > 0 {
 		out.Report = s.fw.Reports[len(s.fw.Reports)-1]
 	}
+	out.Events = s.e.Events()
 	return out
 }
 

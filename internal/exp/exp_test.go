@@ -42,6 +42,9 @@ func TestFig4ShapeHolds(t *testing.T) {
 }
 
 func TestFig5OverheadIsSmallAndPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class A end-to-end runs dominate the package's test time; skipped in -short")
+	}
 	// The "marginal overhead" claim needs a run long enough to amortize the
 	// ~1s migration cost, so this test uses class A (tens of simulated
 	// seconds) rather than the toy class S.

@@ -66,13 +66,21 @@ func isqrtOK(n int) bool {
 }
 
 // Fig4 reproduces "Process Migration Overhead": one migration's four-phase
-// decomposition for each application.
+// decomposition for each application. The per-application runs are
+// independent engines, so they fan out across RunParallel; each writes its
+// pre-indexed slot, keeping row order fixed.
 func Fig4(sc Scale) []PhaseRow {
-	var rows []PhaseRow
-	for _, k := range kernelsFor(sc) {
-		out := RunMigration(k, sc, core.Options{}, false)
-		rows = append(rows, phaseRow(fmt.Sprintf("%s.%c.%d", k, sc.Class, sc.Ranks), out.Report))
+	ks := kernelsFor(sc)
+	rows := make([]PhaseRow, len(ks))
+	tasks := make([]func(), len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		tasks[i] = func() {
+			out := RunMigration(k, sc, core.Options{}, false)
+			rows[i] = phaseRow(fmt.Sprintf("%s.%c.%d", k, sc.Class, sc.Ranks), out.Report)
+		}
 	}
+	RunParallel(tasks...)
 	return rows
 }
 
@@ -90,33 +98,44 @@ func (r Fig5Row) OverheadPct() float64 {
 	return (r.MigratedSec - r.BaseSec) / r.BaseSec * 100
 }
 
-// Fig5 reproduces "Application Execution Time with/without Migration".
+// Fig5 reproduces "Application Execution Time with/without Migration". The
+// baseline and migrated runs of every application are all independent, so a
+// parallel harness gets 2*len(kernels) tasks to spread over cores — this is
+// the heaviest figure (full-length class C runs).
 func Fig5(sc Scale) []Fig5Row {
-	var rows []Fig5Row
-	for _, k := range kernelsFor(sc) {
-		base := RunBaseline(k, sc)
-		mig := RunMigration(k, sc, core.Options{}, true)
-		rows = append(rows, Fig5Row{
-			Label:       fmt.Sprintf("%s.%c.%d", k, sc.Class, sc.Ranks),
-			BaseSec:     base.Seconds(),
-			MigratedSec: mig.AppDuration.Seconds(),
-		})
+	ks := kernelsFor(sc)
+	rows := make([]Fig5Row, len(ks))
+	tasks := make([]func(), 0, 2*len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		rows[i].Label = fmt.Sprintf("%s.%c.%d", k, sc.Class, sc.Ranks)
+		tasks = append(tasks,
+			func() { rows[i].BaseSec = RunBaseline(k, sc).Seconds() },
+			func() { rows[i].MigratedSec = RunMigration(k, sc, core.Options{}, true).AppDuration.Seconds() },
+		)
 	}
+	RunParallel(tasks...)
 	return rows
 }
 
 // Fig6 reproduces "Scalability of Job Migration Framework": LU on 8 nodes
 // with 1, 2, 4 and 8 processes per node; one migration each.
 func Fig6(sc Scale) []PhaseRow {
-	var rows []PhaseRow
+	ppns := []int{1, 2, 4, 8}
 	nodes := sc.Ranks / sc.PPN
-	for _, ppn := range []int{1, 2, 4, 8} {
-		s := sc
-		s.Ranks = nodes * ppn
-		s.PPN = ppn
-		out := RunMigration(npb.LU, s, core.Options{}, false)
-		rows = append(rows, phaseRow(fmt.Sprintf("%d proc/node", ppn), out.Report))
+	rows := make([]PhaseRow, len(ppns))
+	tasks := make([]func(), len(ppns))
+	for i, ppn := range ppns {
+		i, ppn := i, ppn
+		tasks[i] = func() {
+			s := sc
+			s.Ranks = nodes * ppn
+			s.PPN = ppn
+			out := RunMigration(npb.LU, s, core.Options{}, false)
+			rows[i] = phaseRow(fmt.Sprintf("%d proc/node", ppn), out.Report)
+		}
 	}
+	RunParallel(tasks...)
 	return rows
 }
 
@@ -139,16 +158,22 @@ func (g Fig7Group) SpeedupPVFS() float64 { return g.CRPVFS.Total() / g.Migration
 
 // Fig7 reproduces the migration-vs-CR comparison for every application.
 func Fig7(sc Scale) []Fig7Group {
-	var groups []Fig7Group
-	for _, k := range kernelsFor(sc) {
-		mig, ext3, pvfs, w := RunComparison(k, sc, core.Options{})
-		groups = append(groups, Fig7Group{
-			App:       w.Name(),
-			Migration: phaseRow("Migration", mig),
-			CRExt3:    phaseRow("CR(ext3)", ext3),
-			CRPVFS:    phaseRow("CR(PVFS)", pvfs),
-		})
+	ks := kernelsFor(sc)
+	groups := make([]Fig7Group, len(ks))
+	tasks := make([]func(), len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		tasks[i] = func() {
+			mig, ext3, pvfs, w := RunComparison(k, sc, core.Options{})
+			groups[i] = Fig7Group{
+				App:       w.Name(),
+				Migration: phaseRow("Migration", mig),
+				CRExt3:    phaseRow("CR(ext3)", ext3),
+				CRPVFS:    phaseRow("CR(PVFS)", pvfs),
+			}
+		}
 	}
+	RunParallel(tasks...)
 	return groups
 }
 
@@ -180,21 +205,27 @@ type PoolPoint struct {
 // process-migration overhead does not vary significantly as buffer pool size
 // changes, because it is dominated by Phase 3".
 func AblationPool(sc Scale) []PoolPoint {
-	var pts []PoolPoint
-	for _, cfg := range []struct{ poolMB, chunkKB int64 }{
+	cfgs := []struct{ poolMB, chunkKB int64 }{
 		{2, 1024}, {5, 1024}, {10, 256}, {10, 1024}, {10, 4096}, {20, 1024}, {40, 1024},
-	} {
-		out := RunMigration(npb.LU, sc, core.Options{
-			BufferPoolBytes: cfg.poolMB << 20,
-			ChunkBytes:      cfg.chunkKB << 10,
-		}, false)
-		pts = append(pts, PoolPoint{
-			PoolMB:     cfg.poolMB,
-			ChunkKB:    cfg.chunkKB,
-			MigrateSec: out.Report.Phase(metrics.PhaseMigrate).Seconds(),
-			TotalSec:   out.Report.Total().Seconds(),
-		})
 	}
+	pts := make([]PoolPoint, len(cfgs))
+	tasks := make([]func(), len(cfgs))
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		tasks[i] = func() {
+			out := RunMigration(npb.LU, sc, core.Options{
+				BufferPoolBytes: cfg.poolMB << 20,
+				ChunkBytes:      cfg.chunkKB << 10,
+			}, false)
+			pts[i] = PoolPoint{
+				PoolMB:     cfg.poolMB,
+				ChunkKB:    cfg.chunkKB,
+				MigrateSec: out.Report.Phase(metrics.PhaseMigrate).Seconds(),
+				TotalSec:   out.Report.Total().Seconds(),
+			}
+		}
+	}
+	RunParallel(tasks...)
 	return pts
 }
 
@@ -202,29 +233,45 @@ func AblationPool(sc Scale) []PoolPoint {
 // future-work variants (memory-based, and on-the-fly pipelined) for every
 // application.
 func AblationRestartMode(sc Scale) []PhaseRow {
-	var rows []PhaseRow
-	for _, k := range kernelsFor(sc) {
-		file := RunMigration(k, sc, core.Options{RestartMode: core.RestartFile}, false)
-		mem := RunMigration(k, sc, core.Options{RestartMode: core.RestartMemory}, false)
-		pipe := RunMigration(k, sc, core.Options{RestartMode: core.RestartPipelined}, false)
-		rows = append(rows,
-			phaseRow(fmt.Sprintf("%s file-restart", k), file.Report),
-			phaseRow(fmt.Sprintf("%s memory-restart", k), mem.Report),
-			phaseRow(fmt.Sprintf("%s pipelined-restart", k), pipe.Report),
-		)
+	ks := kernelsFor(sc)
+	modes := []struct {
+		mode core.RestartMode
+		name string
+	}{
+		{core.RestartFile, "file-restart"},
+		{core.RestartMemory, "memory-restart"},
+		{core.RestartPipelined, "pipelined-restart"},
 	}
+	rows := make([]PhaseRow, len(ks)*len(modes))
+	tasks := make([]func(), 0, len(rows))
+	for ki, k := range ks {
+		for mi, m := range modes {
+			i, k, m := ki*len(modes)+mi, k, m
+			tasks = append(tasks, func() {
+				out := RunMigration(k, sc, core.Options{RestartMode: m.mode}, false)
+				rows[i] = phaseRow(fmt.Sprintf("%s %s", k, m.name), out.Report)
+			})
+		}
+	}
+	RunParallel(tasks...)
 	return rows
 }
 
 // AblationTransport compares the RDMA pull design with the socket-staging
 // baseline the paper argues against (section III-B).
 func AblationTransport(sc Scale) []PhaseRow {
-	rdma := RunMigration(npb.LU, sc, core.Options{Transport: core.TransportRDMA}, false)
-	sock := RunMigration(npb.LU, sc, core.Options{Transport: core.TransportSocket}, false)
-	return []PhaseRow{
-		phaseRow("RDMA pull", rdma.Report),
-		phaseRow("socket staging", sock.Report),
-	}
+	rows := make([]PhaseRow, 2)
+	RunParallel(
+		func() {
+			out := RunMigration(npb.LU, sc, core.Options{Transport: core.TransportRDMA}, false)
+			rows[0] = phaseRow("RDMA pull", out.Report)
+		},
+		func() {
+			out := RunMigration(npb.LU, sc, core.Options{Transport: core.TransportSocket}, false)
+			rows[1] = phaseRow("socket staging", out.Report)
+		},
+	)
+	return rows
 }
 
 // ---------------------------------------------------------------------------
@@ -375,28 +422,34 @@ type AggRow struct {
 // node-level write-aggregation technique of the authors' companion work
 // (refs [15][16] in the paper), on both storage targets.
 func AblationAggregation(sc Scale) []AggRow {
-	var rows []AggRow
-	for _, target := range []cr.Target{cr.Ext3, cr.PVFS} {
-		for _, aggregate := range []bool{false, true} {
-			s := newSession(npb.LU, sc, sc.Ranks, sc.PPN, 1, 4, core.Options{})
-			var rep *metrics.Report
-			s.drive(func(p *sim.Proc) {
-				p.Sleep(s.triggerAt())
-				runner := cr.NewRunner(s.c, s.fw.W, target, false)
-				runner.Aggregate = aggregate
-				rep = runner.FullCycle(p)
-			})
-			label := fmt.Sprintf("CR(%s)", target)
-			if aggregate {
-				label += " aggregated"
-			}
-			rows = append(rows, AggRow{
-				Label:      label,
-				CkptSec:    rep.Phase(metrics.PhaseCkpt).Seconds(),
-				RestartSec: rep.Phase(metrics.PhaseRestart).Seconds(),
+	targets := []cr.Target{cr.Ext3, cr.PVFS}
+	rows := make([]AggRow, 2*len(targets))
+	tasks := make([]func(), 0, len(rows))
+	for ti, target := range targets {
+		for ai, aggregate := range []bool{false, true} {
+			i, target, aggregate := ti*2+ai, target, aggregate
+			tasks = append(tasks, func() {
+				s := newSession(npb.LU, sc, sc.Ranks, sc.PPN, 1, 4, core.Options{})
+				var rep *metrics.Report
+				s.drive(func(p *sim.Proc) {
+					p.Sleep(s.triggerAt())
+					runner := cr.NewRunner(s.c, s.fw.W, target, false)
+					runner.Aggregate = aggregate
+					rep = runner.FullCycle(p)
+				})
+				label := fmt.Sprintf("CR(%s)", target)
+				if aggregate {
+					label += " aggregated"
+				}
+				rows[i] = AggRow{
+					Label:      label,
+					CkptSec:    rep.Phase(metrics.PhaseCkpt).Seconds(),
+					RestartSec: rep.Phase(metrics.PhaseRestart).Seconds(),
+				}
 			})
 		}
 	}
+	RunParallel(tasks...)
 	return rows
 }
 

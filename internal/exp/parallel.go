@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel experiment execution.
+//
+// Every experiment in this package drives its own sim.Engine, and an engine
+// is strictly single-threaded: all simulated concurrency is virtual, and a
+// run's event trace and timings are a pure function of its configuration and
+// seed. That makes independent experiment runs embarrassingly parallel — the
+// one-engine-per-goroutine rule. RunParallel fans tasks across real CPUs and
+// is guaranteed, by construction, to produce bit-identical results to running
+// the same tasks serially: tasks share no mutable state except the payload
+// checksum cache, which memoizes pure functions and so affects wall time
+// only. TestDeterminismUnderParallelism and TestGoldenTraceUnchanged enforce
+// this.
+
+// parallelism is the maximum number of concurrently running engines. It is
+// set once at startup (cmd/paperbench -parallel) before experiments run;
+// it is not synchronized for mid-run mutation.
+var parallelism = 1
+
+// SetParallelism sets how many experiment engines may run concurrently.
+// n <= 0 selects GOMAXPROCS. Call before starting experiments.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parallelism = n
+}
+
+// Parallelism returns the current engine-concurrency limit.
+func Parallelism() int { return parallelism }
+
+// RunParallel executes all tasks, at most Parallelism() at a time, and
+// returns when every task has finished. With parallelism 1 the tasks run
+// serially in order on the calling goroutine. Each task typically builds,
+// drives and tears down one engine, writing its result to a slot the caller
+// indexed in advance — never to shared slices via append, so task completion
+// order cannot reorder results.
+//
+// If a task panics (experiments panic on simulation failure), RunParallel
+// waits for the remaining tasks and re-panics with the first panic value.
+func RunParallel(tasks ...func()) {
+	n := parallelism
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	if n <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstPanic any
+		panicked   bool
+	)
+	sem := make(chan struct{}, n)
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicked {
+						panicked, firstPanic = true, r
+					}
+					mu.Unlock()
+				}
+				<-sem
+				wg.Done()
+			}()
+			t()
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(firstPanic)
+	}
+}

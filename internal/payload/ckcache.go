@@ -1,0 +1,94 @@
+package payload
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Checksum cache for large synthetic parts.
+//
+// The migration and Checkpoint/Restart comparison experiments checksum the
+// same process images repeatedly: once when the image is captured, once per
+// integrity verification after transfer or restart, and again for every
+// experiment variant run over the same workload. A synthetic part's content
+// is a pure function of (seed, off, n), so the fold of such a part into a
+// running hash h is a pure function of (seed, off, n, h) — which makes the
+// result cacheable with perfect fidelity. Only parts of at least ckMinBytes
+// are cached, so the cache holds image-scale entries, not chatter.
+//
+// The cache is sharded and mutex-guarded: experiment engines are
+// single-threaded, but the parallel sweep runner (internal/exp.RunParallel)
+// runs many engines at once and they all share this cache. Caching affects
+// wall time only, never results, so cross-engine sharing cannot break
+// determinism.
+
+type ckKey struct {
+	seed uint64
+	off  int64
+	n    int64
+	hIn  uint64
+}
+
+const (
+	ckShardCount = 16       // power of two
+	ckShardMax   = 4096     // entries per shard before wholesale eviction
+	ckMinBytes   = 64 << 10 // don't cache parts smaller than this
+)
+
+type ckShard struct {
+	mu sync.Mutex
+	m  map[ckKey]uint64
+}
+
+var (
+	ckShards [ckShardCount]ckShard
+	ckHits   atomic.Uint64
+	ckMisses atomic.Uint64
+)
+
+func ckIndex(k ckKey) int {
+	return int(mix64(k.seed^uint64(k.off)*0x9e3779b97f4a7c15^uint64(k.n)^k.hIn) & (ckShardCount - 1))
+}
+
+func ckLookup(seed uint64, off, n int64, hIn uint64) (uint64, bool) {
+	k := ckKey{seed, off, n, hIn}
+	sh := &ckShards[ckIndex(k)]
+	sh.mu.Lock()
+	v, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok {
+		ckHits.Add(1)
+	} else {
+		ckMisses.Add(1)
+	}
+	return v, ok
+}
+
+func ckStore(seed uint64, off, n int64, hIn, hOut uint64) {
+	k := ckKey{seed, off, n, hIn}
+	sh := &ckShards[ckIndex(k)]
+	sh.mu.Lock()
+	if sh.m == nil || len(sh.m) >= ckShardMax {
+		sh.m = make(map[ckKey]uint64, ckShardMax/4)
+	}
+	sh.m[k] = hOut
+	sh.mu.Unlock()
+}
+
+// ChecksumCacheStats returns cumulative hit/miss counts for the synthetic
+// checksum cache (for benchmarks and tests).
+func ChecksumCacheStats() (hits, misses uint64) {
+	return ckHits.Load(), ckMisses.Load()
+}
+
+// ResetChecksumCache empties the cache and zeroes its counters.
+func ResetChecksumCache() {
+	for i := range ckShards {
+		sh := &ckShards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+	ckHits.Store(0)
+	ckMisses.Store(0)
+}

@@ -112,32 +112,13 @@ func (p Part) Materialize() []byte {
 	return out
 }
 
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
-// checksumInto folds the part's content into a running FNV-1a hash.
-func (p Part) checksumInto(h uint64) uint64 {
-	var scratch [scratchSize]byte
-	size := p.Size()
-	for off := int64(0); off < size; {
-		n := size - off
-		if n > scratchSize {
-			n = scratchSize
-		}
-		buf := scratch[:n]
-		p.fill(buf, off)
-		for _, b := range buf {
-			h = (h ^ uint64(b)) * fnvPrime
-		}
-		off += n
-	}
-	return h
+// Checksum returns the content hash of the part (see hash.go for the
+// definition). Identical bytes always hash equal, whatever the part layout.
+func (p Part) Checksum() uint64 {
+	s := newHasher()
+	p.feed(&s)
+	return s.sum()
 }
-
-// Checksum returns the FNV-1a hash of the part's content.
-func (p Part) Checksum() uint64 { return p.checksumInto(fnvOffset) }
 
 // Buffer is an ordered sequence of parts, representing size bytes of
 // simulated data. The zero value is an empty buffer.
@@ -222,13 +203,15 @@ func (b Buffer) Slice(off, n int64) Buffer {
 	return out
 }
 
-// Checksum returns the FNV-1a hash of the buffer's full content.
+// Checksum returns the content hash of the buffer's full byte stream (see
+// hash.go). It depends only on the bytes, never on how they are fragmented
+// into parts, so a reassembled image hashes equal to the original.
 func (b Buffer) Checksum() uint64 {
-	h := uint64(fnvOffset)
+	s := newHasher()
 	for _, p := range b.parts {
-		h = p.checksumInto(h)
+		p.feed(&s)
 	}
-	return h
+	return s.sum()
 }
 
 // Materialize returns the full content as real bytes. For tests and small
@@ -247,14 +230,16 @@ func (b Buffer) Equal(o Buffer) bool {
 	if b.size != o.size {
 		return false
 	}
-	var sa, sb [scratchSize]byte
+	sa, sb := scratchGet(), scratchGet()
+	defer scratchPut(sa)
+	defer scratchPut(sb)
 	for off := int64(0); off < b.size; {
 		n := b.size - off
 		if n > scratchSize {
 			n = scratchSize
 		}
-		wa := b.Slice(off, n).materializeInto(sa[:n])
-		wb := o.Slice(off, n).materializeInto(sb[:n])
+		wa := b.Slice(off, n).materializeInto((*sa)[:n])
+		wb := o.Slice(off, n).materializeInto((*sb)[:n])
 		if !bytes.Equal(wa, wb) {
 			return false
 		}

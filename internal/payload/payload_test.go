@@ -169,3 +169,22 @@ func BenchmarkChecksumSynthetic1MB(b *testing.B) {
 		_ = buf.Checksum()
 	}
 }
+
+// BenchmarkChecksumSynthetic1MBCold defeats the memoization cache by varying
+// the seed every iteration, measuring the raw generator-lane fold.
+func BenchmarkChecksumSynthetic1MBCold(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		_ = Synth(uint64(i)+1, 0, 1<<20).Checksum()
+	}
+}
+
+// BenchmarkChecksumUnaligned exercises the materialize-through-scratch
+// fallback: an odd offset keeps the part off the aligned fast path.
+func BenchmarkChecksumUnaligned(b *testing.B) {
+	buf := Synth(1, 3, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		_ = buf.Checksum()
+	}
+}

@@ -5,6 +5,14 @@ import (
 	"time"
 )
 
+// reportEventsPerSec attaches the kernel's dispatched-events-per-wall-second
+// rate, the headline number tracked in BENCH_sim.json.
+func reportEventsPerSec(b *testing.B, e *Engine) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(e.Events())/s, "events/sec")
+	}
+}
+
 // BenchmarkEventThroughput measures raw scheduler throughput: how many
 // timer events the kernel retires per wall second.
 func BenchmarkEventThroughput(b *testing.B) {
@@ -18,6 +26,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
 	}
+	reportEventsPerSec(b, e)
 }
 
 // BenchmarkProcessPingPong measures the cost of a queue handoff between two
@@ -42,6 +51,7 @@ func BenchmarkProcessPingPong(b *testing.B) {
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
 	}
+	reportEventsPerSec(b, e)
 }
 
 // BenchmarkManyBlockedProcs measures wakeup fan-out with 1000 waiters.
@@ -57,4 +67,56 @@ func BenchmarkManyBlockedProcs(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportEventsPerSec(b, e)
+}
+
+// BenchmarkSameTimeBatch measures the ready-ring batch path: many processes
+// scheduled to resume at the same instant, dispatched without touching the
+// heap.
+func BenchmarkSameTimeBatch(b *testing.B) {
+	e := NewEngine(1)
+	const fanout = 256
+	e.Spawn("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			wg := NewWaitGroup(e)
+			for w := 0; w < fanout; w++ {
+				wg.Add(1)
+				p.SpawnChild("w", func(p *Proc) {
+					p.Sleep(time.Microsecond) // all wake at the same tick
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventsPerSec(b, e)
+}
+
+// BenchmarkQueueChurn measures sustained queue traffic with a bounded
+// backlog — the pattern the ring-buffer storage is built for.
+func BenchmarkQueueChurn(b *testing.B) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, "churn", 8)
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Send(p, i)
+		}
+		q.Close()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := q.Recv(p); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventsPerSec(b, e)
 }

@@ -17,7 +17,8 @@ func (ev *Event) Fired() bool { return ev.fired }
 
 // Fire marks the event fired and wakes all waiters. Firing an already-fired
 // event is a no-op. Fire may be called from process context or from an engine
-// callback.
+// callback. The wakeups land on the engine's ready ring, so a broadcast to n
+// waiters costs O(n), not O(n log n).
 func (ev *Event) Fire() {
 	if ev.fired {
 		return
@@ -33,7 +34,7 @@ func (ev *Event) Fire() {
 func (ev *Event) Wait(p *Proc) {
 	for !ev.fired {
 		ev.waiters = append(ev.waiters, waiter{p, p.token})
-		p.park("event.wait")
+		p.park("event.wait", "")
 	}
 }
 
@@ -50,7 +51,11 @@ func (ev *Event) WaitTimeout(p *Proc, d Duration) bool {
 		}
 		ev.waiters = append(ev.waiters, waiter{p, p.token})
 		p.e.scheduleResume(p, deadline, wakeTimeout)
-		if p.park("event.wait-timeout") == wakeTimeout {
+		if p.park("event.wait-timeout", "") == wakeTimeout {
+			// Fire is a broadcast, so a stale entry cannot eat another
+			// waiter's wakeup here — but a watchdog re-arming WaitTimeout in
+			// a loop would otherwise accumulate one dead entry per period.
+			ev.waiters = purgeWaiters(ev.waiters, p)
 			return ev.fired
 		}
 	}
@@ -90,6 +95,6 @@ func (g *Gate) IsOpen() bool { return g.open }
 func (g *Gate) Wait(p *Proc) {
 	for !g.open {
 		g.waiters = append(g.waiters, waiter{p, p.token})
-		p.park("gate.wait")
+		p.park("gate.wait", "")
 	}
 }

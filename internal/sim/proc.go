@@ -11,13 +11,18 @@ type Proc struct {
 	wake chan int
 
 	// token guards against stale wakeups. It is incremented every time the
-	// process wakes; resume closures capture the token current at scheduling
+	// process wakes; resume events capture the token current at scheduling
 	// time and are dropped if it no longer matches.
 	token uint64
 
-	started     bool
-	done        bool
-	blockReason string
+	started bool
+	done    bool
+
+	// blockKind/blockName describe what the process is blocked on, kept as
+	// two pieces so the hot path never concatenates strings; blockReason()
+	// joins them only for deadlock reports.
+	blockKind string
+	blockName string
 }
 
 // Name returns the process name given at Spawn.
@@ -33,17 +38,26 @@ func (p *Proc) Engine() *Engine { return p.e }
 func (p *Proc) Now() Time { return p.e.now }
 
 // park yields control to the engine until a wakeup arrives, returning the
-// wake reason.
-func (p *Proc) park(reason string) int {
-	p.blockReason = reason
+// wake reason. kind names the operation ("queue.recv"), name the primitive
+// ("mpi.eager:n3"); both are only read if the simulation deadlocks.
+func (p *Proc) park(kind, name string) int {
+	p.blockKind, p.blockName = kind, name
 	p.e.parked <- struct{}{}
 	r := <-p.wake
 	if r == wakeKill {
 		panic(killSentinel{})
 	}
 	p.token++
-	p.blockReason = ""
+	p.blockKind, p.blockName = "", ""
 	return r
+}
+
+// blockReason renders the blocked-on description for deadlock reports.
+func (p *Proc) blockReason() string {
+	if p.blockName == "" {
+		return p.blockKind
+	}
+	return p.blockKind + ":" + p.blockName
 }
 
 // Sleep advances the process by d of virtual time.
@@ -54,7 +68,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.e.scheduleResume(p, p.e.now.Add(d), wakeSignal)
-	p.park("sleep")
+	p.park("sleep", "")
 }
 
 // Yield gives other same-time events a chance to run.
@@ -75,9 +89,29 @@ type waiter struct {
 	token uint64
 }
 
+// stale reports whether the waiter's registration is no longer current: the
+// process finished, or woke through another path (e.g. a timeout) since it
+// registered. A stale waiter must not consume a wakeup meant for a live one.
+func (w waiter) stale() bool { return w.p.done || w.token != w.p.token }
+
+// wake schedules an immediate resume of the waiter's process.
 func (w waiter) wake(reason int) {
-	e := w.p.e
-	tok := w.token
-	p := w.p
-	e.schedule(e.now, func() { e.resume(p, tok, reason) })
+	ev := w.p.e.allocEvent()
+	ev.t, ev.p, ev.token, ev.reason = w.p.e.now, w.p, w.token, reason
+	w.p.e.pushEvent(ev)
+}
+
+// purgeWaiters removes every entry for p from ws (used by the timeout paths
+// of Event.WaitTimeout so a stale registration does not linger).
+func purgeWaiters(ws []waiter, p *Proc) []waiter {
+	out := ws[:0]
+	for _, w := range ws {
+		if w.p != p {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(ws); i++ {
+		ws[i] = waiter{}
+	}
+	return out
 }

@@ -3,13 +3,18 @@ package sim
 // Queue is a FIFO message queue in virtual time, analogous to a Go channel.
 // A capacity of 0 means unbounded. Queues are the basic communication
 // primitive between simulated processes.
+//
+// Item storage and both waiter lists are rings, so a long-lived queue with a
+// bounded steady-state population allocates a small backing array once and
+// reuses it forever (see ring.go for why the former slicing idiom retained
+// memory).
 type Queue[T any] struct {
 	e      *Engine
 	name   string
-	items  []T
+	items  ring[T]
 	cap    int
-	recvQ  []waiter
-	sendQ  []waiter
+	recvQ  ring[waiter]
+	sendQ  ring[waiter]
 	closed bool
 }
 
@@ -19,7 +24,7 @@ func NewQueue[T any](e *Engine, name string, capacity int) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -32,26 +37,26 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, w := range q.recvQ {
-		w.wake(wakeSignal)
+	for i := 0; i < q.recvQ.len(); i++ {
+		q.recvQ.at(i).wake(wakeSignal)
 	}
-	q.recvQ = nil
-	for _, w := range q.sendQ {
-		w.wake(wakeSignal)
+	q.recvQ.clear()
+	for i := 0; i < q.sendQ.len(); i++ {
+		q.sendQ.at(i).wake(wakeSignal)
 	}
-	q.sendQ = nil
+	q.sendQ.clear()
 }
 
 // Send enqueues v, blocking while the queue is at capacity.
 func (q *Queue[T]) Send(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
-		q.sendQ = append(q.sendQ, waiter{p, p.token})
-		p.park("queue.send:" + q.name)
+	for q.cap > 0 && q.items.len() >= q.cap && !q.closed {
+		q.sendQ.push(waiter{p, p.token})
+		p.park("queue.send", q.name)
 	}
 	if q.closed {
 		panic("sim: send on closed queue " + q.name)
 	}
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.wakeOneRecv()
 }
 
@@ -60,10 +65,10 @@ func (q *Queue[T]) TrySend(v T) bool {
 	if q.closed {
 		panic("sim: send on closed queue " + q.name)
 	}
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.items.len() >= q.cap {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.wakeOneRecv()
 	return true
 }
@@ -71,12 +76,12 @@ func (q *Queue[T]) TrySend(v T) bool {
 // Recv dequeues the oldest item, blocking while the queue is empty. ok is
 // false if the queue was closed and drained.
 func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 {
+	for q.items.len() == 0 {
 		if q.closed {
 			return v, false
 		}
-		q.recvQ = append(q.recvQ, waiter{p, p.token})
-		p.park("queue.recv:" + q.name)
+		q.recvQ.push(waiter{p, p.token})
+		p.park("queue.recv", q.name)
 	}
 	return q.pop(), true
 }
@@ -85,14 +90,21 @@ func (q *Queue[T]) Recv(p *Proc) (v T, ok bool) {
 // timeout or on a closed, drained queue.
 func (q *Queue[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
 	deadline := p.e.now.Add(d)
-	for len(q.items) == 0 {
+	for q.items.len() == 0 {
 		if q.closed || p.e.now >= deadline {
 			return v, false
 		}
-		q.recvQ = append(q.recvQ, waiter{p, p.token})
+		q.recvQ.push(waiter{p, p.token})
 		p.e.scheduleResume(p, deadline, wakeTimeout)
-		if p.park("queue.recv-timeout:"+q.name) == wakeTimeout && len(q.items) == 0 {
-			return v, false
+		if p.park("queue.recv-timeout", q.name) == wakeTimeout {
+			// Woken by the deadline, not by a sender: our recvQ entry was
+			// never popped and is now stale. Purge it, or a later Send's
+			// wakeOneRecv would spend its one wakeup on the stale entry and
+			// leave a live receiver asleep forever (the lost-wakeup bug).
+			q.purgeRecv(p)
+			if q.items.len() == 0 {
+				return v, false
+			}
 		}
 	}
 	return q.pop(), true
@@ -100,29 +112,52 @@ func (q *Queue[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
 
 // TryRecv dequeues the oldest item without blocking, reporting success.
 func (q *Queue[T]) TryRecv() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return v, false
 	}
 	return q.pop(), true
 }
 
 func (q *Queue[T]) pop() T {
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	if len(q.sendQ) > 0 {
-		w := q.sendQ[0]
-		q.sendQ = q.sendQ[1:]
-		w.wake(wakeSignal)
-	}
+	v := q.items.pop()
+	q.wakeOneSend()
 	return v
 }
 
+// wakeOneRecv wakes the oldest live receiver. Stale entries (receivers that
+// timed out since registering) are skipped and discarded rather than allowed
+// to consume the wakeup — belt alongside the purge in RecvTimeout's braces.
 func (q *Queue[T]) wakeOneRecv() {
-	if len(q.recvQ) > 0 {
-		w := q.recvQ[0]
-		q.recvQ = q.recvQ[1:]
+	for q.recvQ.len() > 0 {
+		w := q.recvQ.pop()
+		if w.stale() {
+			continue
+		}
 		w.wake(wakeSignal)
+		return
+	}
+}
+
+// wakeOneSend admits the oldest live blocked sender after a slot frees up.
+// Senders have no timeout path today, so stale entries can only arise from
+// future API growth; skipping them here keeps the invariant local.
+func (q *Queue[T]) wakeOneSend() {
+	for q.sendQ.len() > 0 {
+		w := q.sendQ.pop()
+		if w.stale() {
+			continue
+		}
+		w.wake(wakeSignal)
+		return
+	}
+}
+
+// purgeRecv drops p's stale registration from the receiver wait list.
+func (q *Queue[T]) purgeRecv(p *Proc) {
+	for i := 0; i < q.recvQ.len(); i++ {
+		if q.recvQ.at(i).p == p {
+			q.recvQ.removeAt(i)
+			return
+		}
 	}
 }

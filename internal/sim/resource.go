@@ -10,7 +10,7 @@ type Resource struct {
 	name     string
 	capacity int64
 	used     int64
-	waitq    []resWaiter
+	waitq    ring[resWaiter]
 }
 
 type resWaiter struct {
@@ -33,31 +33,35 @@ func (r *Resource) Capacity() int64 { return r.capacity }
 func (r *Resource) InUse() int64 { return r.used }
 
 // Waiting returns the number of queued acquirers.
-func (r *Resource) Waiting() int { return len(r.waitq) }
+func (r *Resource) Waiting() int { return r.waitq.len() }
 
 // Acquire blocks p until n units are available and p is at the head of the
 // wait queue. n must be in (0, capacity].
+//
+// There is no timeout path into the wait queue, so entries cannot go stale
+// the way Queue receivers can; spurious wakeups are handled by re-registering
+// the current token below.
 func (r *Resource) Acquire(p *Proc, n int64) {
 	if n <= 0 || n > r.capacity {
 		panic("sim: invalid acquire amount on " + r.name)
 	}
-	if len(r.waitq) == 0 && r.used+n <= r.capacity {
+	if r.waitq.len() == 0 && r.used+n <= r.capacity {
 		r.used += n
 		return
 	}
-	r.waitq = append(r.waitq, resWaiter{waiter{p, p.token}, n})
+	r.waitq.push(resWaiter{waiter{p, p.token}, n})
 	for {
-		p.park("resource.acquire:" + r.name)
-		if len(r.waitq) > 0 && r.waitq[0].w.p == p && r.used+n <= r.capacity {
-			r.waitq = r.waitq[1:]
+		p.park("resource.acquire", r.name)
+		if r.waitq.len() > 0 && r.waitq.at(0).w.p == p && r.used+n <= r.capacity {
+			r.waitq.pop()
 			r.used += n
 			r.admit()
 			return
 		}
 		// Spurious wake (not at head, or capacity taken): re-register token.
-		for i := range r.waitq {
-			if r.waitq[i].w.p == p {
-				r.waitq[i].w.token = p.token
+		for i := 0; i < r.waitq.len(); i++ {
+			if rw := r.waitq.at(i); rw.w.p == p {
+				rw.w.token = p.token
 			}
 		}
 	}
@@ -74,8 +78,10 @@ func (r *Resource) Release(n int64) {
 
 // admit wakes the queue head if its request now fits.
 func (r *Resource) admit() {
-	if len(r.waitq) > 0 && r.used+r.waitq[0].n <= r.capacity {
-		r.waitq[0].w.wake(wakeSignal)
+	if r.waitq.len() > 0 {
+		if head := r.waitq.at(0); r.used+head.n <= r.capacity {
+			head.w.wake(wakeSignal)
+		}
 	}
 }
 
@@ -122,6 +128,6 @@ func (wg *WaitGroup) Count() int { return wg.count }
 func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.count > 0 {
 		wg.waiters = append(wg.waiters, waiter{p, p.token})
-		p.park("waitgroup.wait")
+		p.park("waitgroup.wait", "")
 	}
 }

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingFIFOAndWrap(t *testing.T) {
+	var r ring[int]
+	if r.len() != 0 || r.capacity() != 0 {
+		t.Fatalf("zero ring: len=%d cap=%d, want 0,0", r.len(), r.capacity())
+	}
+	// Keep 3 live elements while cycling 100 through, forcing many wraps of
+	// the initial 8-slot buffer; FIFO order must hold throughout.
+	for i := 0; i < 3; i++ {
+		r.push(i)
+	}
+	for i := 3; i < 100; i++ {
+		if got := r.pop(); got != i-3 {
+			t.Fatalf("pop: got %d, want %d", got, i-3)
+		}
+		r.push(i)
+	}
+	if c := r.capacity(); c != 8 {
+		t.Errorf("capacity grew to %d with 3 live elements", c)
+	}
+	r.clear()
+	if r.len() != 0 {
+		t.Fatalf("clear left %d elements", r.len())
+	}
+	if got := func() (p any) { defer func() { p = recover() }(); r.pop(); return }(); got == nil {
+		t.Error("pop from empty ring did not panic")
+	}
+}
+
+func TestRingOrderAcrossGrowth(t *testing.T) {
+	var r ring[int]
+	// Offset head so growth has to un-wrap a wrapped buffer.
+	for i := 0; i < 5; i++ {
+		r.push(-1)
+	}
+	for i := 0; i < 5; i++ {
+		r.pop()
+	}
+	for i := 0; i < 100; i++ {
+		r.push(i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.pop(); got != i {
+			t.Fatalf("pop %d: got %d", i, got)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring not drained: %d left", r.len())
+	}
+}
+
+func TestRingRemoveAt(t *testing.T) {
+	var r ring[int]
+	for i := 0; i < 10; i++ {
+		r.push(i)
+	}
+	r.removeAt(0)           // head
+	r.removeAt(3)           // middle (element 4)
+	r.removeAt(r.len() - 1) // tail (element 9)
+	want := []int{1, 2, 3, 5, 6, 7, 8}
+	for i, w := range want {
+		if got := *r.at(i); got != w {
+			t.Fatalf("at(%d) = %d, want %d", i, got, w)
+		}
+	}
+	for _, w := range want {
+		if got := r.pop(); got != w {
+			t.Fatalf("pop = %d, want %d", got, w)
+		}
+	}
+}
+
+// TestRingCapacityBounded is the memory-retention regression test: the old
+// `items = items[1:]` idiom grew the backing array in proportion to total
+// traffic, not live population. A ring with a small steady-state population
+// must keep a small constant capacity no matter how many items flow through.
+func TestRingCapacityBounded(t *testing.T) {
+	var r ring[int]
+	for i := 0; i < 1_000_000; i++ {
+		r.push(i)
+		if r.len() > 4 {
+			r.pop()
+		}
+	}
+	if c := r.capacity(); c > 8 {
+		t.Errorf("capacity %d after 1M pushes with live population <=4; retention bug", c)
+	}
+}
+
+// TestQueueSteadyStateCapacityBounded asserts the same property through the
+// public Queue API: heavy producer/consumer churn with a bounded backlog must
+// not grow the queue's storage without bound.
+func TestQueueSteadyStateCapacityBounded(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, "churn", 0)
+	const rounds = 200_000
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			q.Send(p, i)
+			if i%4 == 3 {
+				p.Sleep(time.Microsecond)
+			}
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			if v, ok := q.Recv(p); !ok || v != i {
+				t.Errorf("recv %d: got %v,%v", i, v, ok)
+				return
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if c := q.items.capacity(); c > 64 {
+		t.Errorf("queue backing capacity %d after %d sends with small backlog; retention bug", c, rounds)
+	}
+}
+
+// TestRecvTimeoutStaleWaiterDoesNotEatWakeup is the lost-wakeup regression
+// test. Scenario: P1 registers in recvQ via RecvTimeout and times out; P2
+// then blocks in Recv; P3 sends one item. Before the fix, the sender's single
+// wakeup was spent on P1's stale registration and P2 slept forever — the run
+// ended in a deadlock with P2 still blocked. With the fix (timeout purges the
+// stale entry, and wakeOneRecv skips stale entries), P2 receives the item.
+func TestRecvTimeoutStaleWaiterDoesNotEatWakeup(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, "q", 0)
+	got := -1
+	e.Spawn("p1-timeout", func(p *Proc) {
+		if _, ok := q.RecvTimeout(p, time.Millisecond); ok {
+			t.Error("p1: expected timeout")
+		}
+		// P1 stays alive doing unrelated work, so its stale recvQ entry
+		// cannot be excused as a dead process.
+		p.Sleep(time.Second)
+	})
+	e.Spawn("p2-recv", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond) // arrive after P1's timeout
+		v, ok := q.Recv(p)
+		if !ok {
+			t.Error("p2: queue closed unexpectedly")
+		}
+		got = v
+	})
+	e.Spawn("p3-send", func(p *Proc) {
+		p.Sleep(3 * time.Millisecond)
+		q.Send(p, 7)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("lost wakeup: %v", err)
+	}
+	e.Shutdown()
+	if got != 7 {
+		t.Errorf("p2 received %d, want 7", got)
+	}
+}
+
+// TestRecvTimeoutRace covers the boundary where a send lands at the exact
+// moment a receiver's deadline fires: whichever way the engine orders the two
+// same-time events, the item must not be lost and the run must not deadlock.
+func TestRecvTimeoutRace(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		e := NewEngine(seed)
+		q := NewQueue[int](e, "q", 0)
+		delivered := false
+		e.Spawn("recv", func(p *Proc) {
+			v, ok := q.RecvTimeout(p, time.Millisecond)
+			if ok {
+				if v != 9 {
+					t.Errorf("seed %d: got %d, want 9", seed, v)
+				}
+				delivered = true
+			}
+		})
+		e.Spawn("send", func(p *Proc) {
+			p.Sleep(time.Millisecond) // exactly the deadline
+			q.Send(p, 9)
+		})
+		e.Spawn("sweeper", func(p *Proc) {
+			// If the receiver timed out, drain the item so Run terminates
+			// with an empty queue either way.
+			p.Sleep(2 * time.Millisecond)
+			q.TryRecv()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e.Shutdown()
+		_ = delivered // either outcome is legal; absence of deadlock is the assertion
+	}
+}
+
+// TestEngineEventsCounter sanity-checks the dispatched-event telemetry used
+// by the benchmark harness: it must start at zero and strictly grow with
+// work performed.
+func TestEngineEventsCounter(t *testing.T) {
+	e := NewEngine(1)
+	if e.Events() != 0 {
+		t.Fatalf("fresh engine reports %d events", e.Events())
+	}
+	e.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	if e.Events() < 10 {
+		t.Errorf("events = %d after 10 sleeps, want >= 10", e.Events())
+	}
+}
