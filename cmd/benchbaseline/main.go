@@ -27,11 +27,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
 	"ibmig/internal/core"
 	"ibmig/internal/exp"
+	"ibmig/internal/mem"
+	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
 	"ibmig/internal/payload"
 	"ibmig/internal/sim"
@@ -74,6 +77,28 @@ type Baseline struct {
 
 	SweepScaling []Sweep `json:"sweep_scaling"`
 
+	// DataPlane records the zero-copy data-plane telemetry: splice/merge
+	// activity and — the headline number — how few bytes the paper-scale
+	// comparison and the largest sweep point ever materialize.
+	DataPlane struct {
+		Comparison struct {
+			RegionWrites      uint64 `json:"region_writes"`
+			ExtentSplits      uint64 `json:"extent_splits"`
+			ExtentMerges      uint64 `json:"extent_merges"`
+			MaterializedBytes uint64 `json:"materialized_bytes"`
+		} `json:"paper_comparison"`
+		TopSweepPoint struct {
+			Ranks             int     `json:"ranks"`
+			WallS             float64 `json:"wall_s"`
+			Events            uint64  `json:"events"`
+			RegionWrites      uint64  `json:"region_writes"`
+			LiveExtents       int64   `json:"live_extents"`
+			MaterializedBytes uint64  `json:"materialized_bytes"`
+			AllocMB           float64 `json:"alloc_mb"`
+		} `json:"top_sweep_point"`
+		RegionWriteChurn Micro `json:"region_write_churn"`
+	} `json:"data_plane"`
+
 	// PreOptimization pins the numbers measured on the same host immediately
 	// before the hot-path overhaul (ready-ring batching, event freelist, ring
 	// wait lists, checksum memoization), for before/after comparison.
@@ -92,7 +117,37 @@ func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var b Baseline
 	b.GeneratedBy = "cmd/benchbaseline"
@@ -201,15 +256,59 @@ func main() {
 	fmt.Fprintln(os.Stderr, "paper-scale LU comparison...")
 	migOut := exp.RunMigration(npb.LU, sc, core.Options{}, false)
 	payload.ResetChecksumCache()
+	dpBefore := metrics.CaptureDataPlane()
 	start := time.Now()
 	exp.RunComparison(npb.LU, sc, core.Options{})
 	wall := time.Since(start).Seconds()
+	dpCmp := metrics.CaptureDataPlane().Delta(dpBefore)
 	b.PaperComparison.Kernel = "LU"
 	b.PaperComparison.WallS = wall
 	b.PaperComparison.Events = migOut.Events
 	if wall > 0 {
 		b.PaperComparison.MevPerS = float64(migOut.Events) / wall / 1e6
 	}
+	b.DataPlane.Comparison.RegionWrites = dpCmp.RegionWrites
+	b.DataPlane.Comparison.ExtentSplits = dpCmp.ExtentSplits
+	b.DataPlane.Comparison.ExtentMerges = dpCmp.ExtentMerges
+	b.DataPlane.Comparison.MaterializedBytes = dpCmp.MaterializedBytes
+
+	// --- data plane -------------------------------------------------------
+	// Region-write churn: sustained random overwrites of one region. The
+	// interesting numbers are allocs/op (descriptor splicing, no content
+	// rebuild) and that it stays flat as the region fills.
+	r = testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		reg := mem.NewRegion(64<<20, 1)
+		for i := 0; i < tb.N; i++ {
+			off := int64(i%8191) * 8192 % (64<<20 - 1<<16)
+			reg.Write(off, payload.Synth(uint64(i)+2, 0, 1<<16))
+		}
+	})
+	b.DataPlane.RegionWriteChurn = Micro{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+
+	// Largest sweep point, run standalone so its data-plane delta and
+	// allocation footprint are attributable (the sweep loop below fans points
+	// across goroutines, which blurs the process-wide counters).
+	top := sweepRanks[len(sweepRanks)-1]
+	fmt.Fprintf(os.Stderr, "top sweep point (%d ranks)...\n", top)
+	payload.ResetChecksumCache()
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	dpBefore = metrics.CaptureDataPlane()
+	start = time.Now()
+	topOut := exp.RunMigration(npb.LU, exp.Scale{Class: sc.Class, Ranks: top, PPN: sc.PPN, Seed: sc.Seed}, core.Options{}, false)
+	topWall := time.Since(start).Seconds()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	dpTop := metrics.CaptureDataPlane().Delta(dpBefore)
+	b.DataPlane.TopSweepPoint.Ranks = top
+	b.DataPlane.TopSweepPoint.WallS = topWall
+	b.DataPlane.TopSweepPoint.Events = topOut.Events
+	b.DataPlane.TopSweepPoint.RegionWrites = dpTop.RegionWrites
+	b.DataPlane.TopSweepPoint.LiveExtents = dpTop.LiveExtents
+	b.DataPlane.TopSweepPoint.MaterializedBytes = dpTop.MaterializedBytes
+	b.DataPlane.TopSweepPoint.AllocMB = float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20)
 
 	// --- sweep scaling ----------------------------------------------------
 	var serialWall float64

@@ -126,6 +126,7 @@ func main() {
 	fmt.Printf("%s: %d ranks on %d nodes (%d/node), est. runtime %.1fs, image %s MB/rank\n",
 		w.Name(), w.Ranks, *np / *ppn, *ppn, w.EstimatedRuntime().Seconds(), metrics.MB(w.PerRankImage))
 
+	dpStart := metrics.CaptureDataPlane()
 	var report *metrics.Report
 	var appDur sim.Duration
 	e.Spawn("migsim", func(p *sim.Proc) {
@@ -184,6 +185,7 @@ func main() {
 		fmt.Printf("recovery: aborted=%d spare-retries=%d cr-fallbacks=%d restart-resends=%d job-lost=%v\n",
 			jm.MigrationsAborted, jm.SpareRetries, jm.CRFallbacks, jm.RestartResends, jm.JobLost)
 	}
+	fmt.Println(metrics.CaptureDataPlane().Delta(dpStart))
 	fmt.Printf("application ran %.2fs end to end (overhead vs estimate: %.1f%%)\n",
 		appDur.Seconds(), (appDur.Seconds()/w.EstimatedRuntime().Seconds()-1)*100)
 	if *verify {

@@ -11,7 +11,7 @@
 //	socket   ablation: RDMA pull vs socket staging (paper section III-B)
 //	interval checkpoint-interval study: how proactive migration prolongs the
 //	         interval between job-wide checkpoints (paper section VI)
-//	sweep    cluster-scale sweep: LU migration at 64..512 ranks (paper PPN),
+//	sweep    cluster-scale sweep: LU migration at 64..2048 ranks (paper PPN),
 //	         with per-point event counts and simulator throughput
 //
 // Usage:
@@ -32,10 +32,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ibmig/internal/core"
 	"ibmig/internal/exp"
+	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
 )
 
@@ -44,7 +47,37 @@ func main() {
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	exp.SetParallelism(*par)
 
@@ -68,6 +101,8 @@ func main() {
 
 	fmt.Printf("Scale: class %c, %d ranks, %d per node, seed %d, parallelism %d\n\n",
 		sc.Class, sc.Ranks, sc.PPN, sc.Seed, exp.Parallelism())
+
+	dpStart := metrics.CaptureDataPlane()
 
 	var fig7Groups []exp.Fig7Group
 	run("fig4", func() {
@@ -118,4 +153,6 @@ func main() {
 		title := fmt.Sprintf("Scale sweep — LU migration, class %c, %d ranks/node", sc.Class, sc.PPN)
 		fmt.Println(exp.FormatSweep(title, exp.ScaleSweep(sc, ranks)))
 	})
+
+	fmt.Println(metrics.CaptureDataPlane().Delta(dpStart))
 }

@@ -31,8 +31,10 @@ type SweepPoint struct {
 }
 
 // DefaultSweepRanks is the cluster-scale rank ladder: the paper's 64 up to
-// 512 ranks (64 nodes x 8 ppn at paper PPN).
-var DefaultSweepRanks = []int{64, 128, 256, 512}
+// 2048 ranks (256 nodes x 8 ppn at paper PPN). The top points are feasible
+// because the data plane moves extent descriptors, not bytes: a 2048-rank
+// migration touches multi-GB simulated images without materializing them.
+var DefaultSweepRanks = []int{64, 128, 256, 512, 1024, 2048}
 
 // QuickSweepRanks is a reduced ladder for CI and -scale quick.
 var QuickSweepRanks = []int{16, 32, 64, 128}

@@ -58,6 +58,8 @@ type Fabric struct {
 	// Aggregate counters (bytes moved over the wire, fabric-wide).
 	BytesTransferred int64
 	Operations       int64
+
+	sendPool []*sendFlow // retired PostSend flows, recycled per fabric
 }
 
 // NewFabric creates a fabric on the given engine.
@@ -231,6 +233,9 @@ type QP struct {
 	peer  *QP
 	open  bool
 	recvQ *sim.Queue[Message]
+	// sendName is the flow name for PostSend wire work, precomputed at
+	// connection time so the per-message path never formats a string.
+	sendName string
 
 	inflight int       // wire operations outstanding on this endpoint
 	idle     *sim.Gate // open when inflight == 0
@@ -259,6 +264,8 @@ func ConnectQP(p *sim.Proc, a, b *HCA) (*QP, *QP) {
 	}
 	qa, qb := mk(a), mk(b)
 	qa.peer, qb.peer = qb, qa
+	qa.sendName = "ib.send." + a.node + "->" + b.node
+	qb.sendName = "ib.send." + b.node + "->" + a.node
 	if a.failed || b.failed {
 		qa.breakConn()
 		qb.breakConn()
@@ -304,8 +311,9 @@ func (q *QP) addInflight(n int) {
 }
 
 // PostSend transmits a message asynchronously: the wire work proceeds in a
-// helper process and the message is appended to the peer's receive queue when
-// the last byte lands. Returns ErrQPClosed if the endpoint is down.
+// helper flow (see sendflow.go) and the message is appended to the peer's
+// receive queue when the last byte lands. Returns ErrQPClosed if the endpoint
+// is down.
 func (q *QP) PostSend(m Message) error {
 	if err := q.err(); err != nil {
 		return err
@@ -314,14 +322,10 @@ func (q *QP) PostSend(m Message) error {
 	q.addInflight(1)
 	q.BytesSent += m.Size()
 	q.MsgsSent++
-	peer := q.peer
-	q.hca.f.E.Spawn(fmt.Sprintf("ib.send.%s->%s", q.hca.node, peer.hca.node), func(p *sim.Proc) {
-		q.hca.f.transfer(p, q.hca, peer.hca, m.Size())
-		if peer.open {
-			peer.recvQ.TrySend(m)
-		}
-		q.addInflight(-1)
-	})
+	f := q.hca.f
+	sf := f.getSendFlow()
+	sf.q, sf.m, sf.n, sf.stage = q, m, m.Size(), sfBegin
+	f.E.SpawnFlow(q.sendName, sf.step)
 	return nil
 }
 

@@ -1,37 +1,53 @@
 // Package mem provides mutable simulated memory regions backed by
-// payload.Buffer content, used for RDMA-registered buffers and process-image
+// payload extent trees, used for RDMA-registered buffers and process-image
 // segments.
 package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ibmig/internal/payload"
 )
 
-// Region is a fixed-size, byte-addressable simulated memory area. Its content
-// is a payload buffer, so it can mix real and synthetic bytes. The zero value
-// is not usable; call NewRegion.
+// regionWrites counts Region.Write calls process-wide — part of the
+// data-plane telemetry surfaced by internal/metrics. Host-side only; never
+// influences simulated behaviour.
+var regionWrites atomic.Uint64
+
+// RegionWrites returns the process-wide Region.Write count.
+func RegionWrites() uint64 { return regionWrites.Load() }
+
+// Region is a fixed-size, byte-addressable simulated memory area. Its
+// content is a coalescing extent tree over payload parts, so it can mix real
+// and synthetic bytes, a write splices descriptors in O(log extents) instead
+// of rebuilding the content, and the extent count stays bounded under
+// sustained overwrite churn (see payload.Tree). The zero value is not
+// usable; call NewRegion.
 type Region struct {
-	size    int64
-	content payload.Buffer
+	size int64
+	t    payload.Tree
 	// writes counts Write calls, a cheap generation number for cache logic.
 	writes int64
 }
 
 // NewRegion returns a region of the given size. Initial content is a
 // deterministic synthetic fill derived from seed (simulated uninitialized
-// memory: stable, but not meaningful).
+// memory: stable, but not meaningful) — a single extent.
 func NewRegion(size int64, seed uint64) *Region {
 	if size < 0 {
 		panic("mem: negative region size")
 	}
-	return &Region{size: size, content: payload.Synth(seed, 0, size)}
+	r := &Region{size: size}
+	r.t.Splice(0, 0, payload.Synth(seed, 0, size))
+	return r
 }
 
 // NewRegionWith returns a region initialized with exactly the given content.
 func NewRegionWith(b payload.Buffer) *Region {
-	return &Region{size: b.Size(), content: b}
+	r := &Region{size: b.Size()}
+	r.t.Splice(0, 0, b)
+	return r
 }
 
 // Size returns the region size in bytes.
@@ -40,7 +56,11 @@ func (r *Region) Size() int64 { return r.size }
 // Generation returns a counter incremented on every Write.
 func (r *Region) Generation() int64 { return r.writes }
 
-// Write replaces the byte range [off, off+b.Size()) with b's content.
+// Extents returns the number of extent descriptors backing the region.
+func (r *Region) Extents() int { return r.t.Extents() }
+
+// Write replaces the byte range [off, off+b.Size()) with b's content by
+// splicing extent descriptors — no content is copied or materialized.
 func (r *Region) Write(off int64, b payload.Buffer) {
 	n := b.Size()
 	if off < 0 || off+n > r.size {
@@ -49,12 +69,9 @@ func (r *Region) Write(off int64, b payload.Buffer) {
 	if n == 0 {
 		return
 	}
-	var next payload.Buffer
-	next.AppendBuffer(r.content.Slice(0, off))
-	next.AppendBuffer(b)
-	next.AppendBuffer(r.content.Slice(off+n, r.size-off-n))
-	r.content = next
+	r.t.Splice(off, n, b)
 	r.writes++
+	regionWrites.Add(1)
 }
 
 // Read returns the content of [off, off+n) without copying.
@@ -62,11 +79,11 @@ func (r *Region) Read(off, n int64) payload.Buffer {
 	if off < 0 || n < 0 || off+n > r.size {
 		panic(fmt.Sprintf("mem: read [%d,%d) beyond region size %d", off, off+n, r.size))
 	}
-	return r.content.Slice(off, n)
+	return r.t.Slice(off, n)
 }
 
 // Content returns the whole region content.
-func (r *Region) Content() payload.Buffer { return r.content }
+func (r *Region) Content() payload.Buffer { return r.t.Buffer() }
 
 // Checksum returns the FNV-1a checksum of the entire region.
-func (r *Region) Checksum() uint64 { return r.content.Checksum() }
+func (r *Region) Checksum() uint64 { return r.t.Checksum() }

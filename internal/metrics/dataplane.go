@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"fmt"
+
+	"ibmig/internal/mem"
+	"ibmig/internal/payload"
+)
+
+// DataPlane is a snapshot of the zero-copy data-plane counters: how many
+// region writes ran, how many extent descriptors are live, how much splicing
+// happened, and — the invariant the whole design rests on — how few bytes
+// were ever materialized. Counters are process-wide and host-side only; they
+// never influence simulated results. Capture one before and one after a run
+// and subtract to attribute activity to the run.
+type DataPlane struct {
+	RegionWrites      uint64 // mem.Region.Write calls
+	LiveExtents       int64  // extent-tree descriptors currently allocated
+	ExtentSplits      uint64 // extents cut in place by range splices
+	ExtentMerges      uint64 // extents coalesced at splice seams
+	MaterializedBytes uint64 // real bytes produced by payload Materialize
+}
+
+// CaptureDataPlane snapshots the current counter values.
+func CaptureDataPlane() DataPlane {
+	s := payload.DataPlaneSnapshot()
+	return DataPlane{
+		RegionWrites:      mem.RegionWrites(),
+		LiveExtents:       s.LiveExtents,
+		ExtentSplits:      s.ExtentSplits,
+		ExtentMerges:      s.ExtentMerges,
+		MaterializedBytes: s.MaterializedBytes,
+	}
+}
+
+// Delta returns the activity between the since snapshot and this one.
+// LiveExtents is a level, not a flow: its delta is the net change and may be
+// negative.
+func (d DataPlane) Delta(since DataPlane) DataPlane {
+	return DataPlane{
+		RegionWrites:      d.RegionWrites - since.RegionWrites,
+		LiveExtents:       d.LiveExtents - since.LiveExtents,
+		ExtentSplits:      d.ExtentSplits - since.ExtentSplits,
+		ExtentMerges:      d.ExtentMerges - since.ExtentMerges,
+		MaterializedBytes: d.MaterializedBytes - since.MaterializedBytes,
+	}
+}
+
+func (d DataPlane) String() string {
+	return fmt.Sprintf(
+		"data plane: %d region writes | %d live extents | %d splits | %d merges | %d bytes materialized",
+		d.RegionWrites, d.LiveExtents, d.ExtentSplits, d.ExtentMerges, d.MaterializedBytes)
+}

@@ -1,0 +1,232 @@
+package payload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refSplice applies the same splice to a plain byte slice — the reference
+// model the tree is checked against.
+func refSplice(ref []byte, off, del int64, b Buffer) []byte {
+	out := make([]byte, 0, int64(len(ref))-del+b.Size())
+	out = append(out, ref[:off]...)
+	out = append(out, b.Materialize()...)
+	out = append(out, ref[off+del:]...)
+	return out
+}
+
+// TestTreeSpliceMatchesReference drives a tree and a naive []byte model
+// through the same randomized splice sequence (inserts, deletes, overwrites,
+// appends; synthetic and real parts) and checks content, checksum, size, and
+// random slices after every step.
+func TestTreeSpliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tr Tree
+	var ref []byte
+	for step := 0; step < 400; step++ {
+		size := int64(len(ref))
+		off := int64(0)
+		if size > 0 {
+			off = rng.Int63n(size + 1)
+		}
+		del := int64(0)
+		if size-off > 0 && rng.Intn(2) == 0 {
+			del = rng.Int63n(size - off + 1)
+		}
+		var b Buffer
+		switch rng.Intn(3) {
+		case 0: // synthetic run
+			b = Synth(uint64(rng.Intn(5))+1, rng.Int63n(1<<20), rng.Int63n(300))
+		case 1: // real bytes
+			b = FromBytes(Synth(uint64(step)+100, 0, rng.Int63n(200)).Materialize())
+		case 2: // multi-part mix
+			b.AppendBuffer(Synth(3, rng.Int63n(1000), rng.Int63n(100)))
+			b.AppendBuffer(FromBytes(Synth(uint64(step)+500, 0, rng.Int63n(100)).Materialize()))
+		}
+		tr.Splice(off, del, b)
+		ref = refSplice(ref, off, del, b)
+
+		if tr.Size() != int64(len(ref)) {
+			t.Fatalf("step %d: size %d, want %d", step, tr.Size(), len(ref))
+		}
+		if step%20 == 0 {
+			if !bytes.Equal(tr.Buffer().Materialize(), ref) {
+				t.Fatalf("step %d: content diverged", step)
+			}
+			if tr.Checksum() != FromBytes(ref).Checksum() {
+				t.Fatalf("step %d: checksum diverged", step)
+			}
+		}
+		if n := int64(len(ref)); n > 0 {
+			so := rng.Int63n(n)
+			sn := rng.Int63n(n - so + 1)
+			if got := tr.Slice(so, sn).Materialize(); !bytes.Equal(got, ref[so:so+sn]) {
+				t.Fatalf("step %d: slice(%d,%d) diverged", step, so, sn)
+			}
+		}
+	}
+	if !bytes.Equal(tr.Buffer().Materialize(), ref) {
+		t.Fatal("final content diverged")
+	}
+}
+
+// TestTreeCoalescesSyntheticStream checks that appending chunks that continue
+// one seed's stream collapses to a single extent, however many chunks arrive.
+func TestTreeCoalescesSyntheticStream(t *testing.T) {
+	var tr Tree
+	const chunk = 4096
+	for i := int64(0); i < 200; i++ {
+		tr.Splice(tr.Size(), 0, Synth(9, i*chunk, chunk))
+	}
+	if got := tr.Extents(); got != 1 {
+		t.Fatalf("sequential synthetic stream left %d extents, want 1", got)
+	}
+	if tr.Size() != 200*chunk {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+// TestTreeCoalescesAdjacentBytes checks that two byte extents whose backing
+// slices are contiguous in one allocation merge back into one extent.
+func TestTreeCoalescesAdjacentBytes(t *testing.T) {
+	backing := Synth(5, 0, 8192).Materialize()
+	var tr Tree
+	tr.Splice(0, 0, FromBytes(backing[:3000]))
+	tr.Splice(3000, 0, FromBytes(backing[3000:]))
+	if got := tr.Extents(); got != 1 {
+		t.Fatalf("contiguous byte slices left %d extents, want 1", got)
+	}
+	// Unrelated allocations must NOT merge.
+	var tr2 Tree
+	tr2.Splice(0, 0, FromBytes(append([]byte(nil), backing[:100]...)))
+	tr2.Splice(100, 0, FromBytes(append([]byte(nil), backing[100:200]...)))
+	if got := tr2.Extents(); got != 2 {
+		t.Fatalf("separate allocations merged to %d extents, want 2", got)
+	}
+}
+
+// TestTreeOverwriteCollapses checks the churn invariant directly: a
+// full-range overwrite restores the single-extent state no matter how
+// fragmented the tree was.
+func TestTreeOverwriteCollapses(t *testing.T) {
+	var tr Tree
+	tr.Splice(0, 0, Synth(1, 0, 1<<16))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		off := rng.Int63n(1<<16 - 64)
+		tr.Splice(off, 64, Synth(uint64(i)+2, 0, 64))
+	}
+	if tr.Extents() < 3 {
+		t.Fatal("churn did not fragment the tree; test is vacuous")
+	}
+	tr.Splice(0, tr.Size(), Synth(77, 0, 1<<16))
+	if got := tr.Extents(); got != 1 {
+		t.Fatalf("full overwrite left %d extents, want 1", got)
+	}
+}
+
+// TestTreeBoundedExtentsUnderChurn overwrites chunk-aligned ranges forever,
+// the aggregation-pool pattern: the extent count must stay bounded by the
+// chunk layout (amortized O(1) per write), not grow with write count.
+func TestTreeBoundedExtentsUnderChurn(t *testing.T) {
+	const size, chunk = 1 << 20, 1 << 14 // 64 chunks
+	var tr Tree
+	tr.Splice(0, 0, Synth(1, 0, size))
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 50; round++ {
+		for c := int64(0); c < size/chunk; c++ {
+			seed := uint64(rng.Intn(8)) + 2
+			tr.Splice(c*chunk, chunk, Synth(seed, c*chunk, chunk))
+		}
+		if got, limit := tr.Extents(), int(size/chunk)+2; got > limit {
+			t.Fatalf("round %d: %d extents > bound %d", round, got, limit)
+		}
+	}
+}
+
+// TestBufferSliceIndexEquivalence checks that an indexed buffer (built by
+// Append past sliceIndexMin parts) slices identically to the linear scan.
+func TestBufferSliceIndexEquivalence(t *testing.T) {
+	var b Buffer
+	for i := 0; i < sliceIndexMin*3; i++ {
+		b.Append(Part{Seed: uint64(i) + 1, Off: int64(i) * 97, N: int64(i%7) + 1})
+	}
+	if len(b.cum) != len(b.parts) {
+		t.Fatalf("index not maintained: %d cum for %d parts", len(b.cum), len(b.parts))
+	}
+	whole := b.Materialize()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		off := rng.Int63n(b.Size())
+		n := rng.Int63n(b.Size() - off + 1)
+		if got := b.Slice(off, n).Materialize(); !bytes.Equal(got, whole[off:off+n]) {
+			t.Fatalf("indexed slice(%d,%d) diverged", off, n)
+		}
+	}
+}
+
+// TestMaterializeCap checks that oversized materialization panics and that
+// the cap is adjustable.
+func TestMaterializeCap(t *testing.T) {
+	prev := SetMaterializeCap(1 << 10)
+	defer SetMaterializeCap(prev)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic materializing above the cap")
+			}
+		}()
+		Synth(1, 0, 2<<10).Materialize()
+	}()
+	// At or below the cap: fine.
+	if got := Synth(1, 0, 1<<10).Materialize(); len(got) != 1<<10 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+// TestDataPlaneCounters sanity-checks the process-wide telemetry: splices
+// and merges move, and materialization is counted.
+func TestDataPlaneCounters(t *testing.T) {
+	before := DataPlaneSnapshot()
+	var tr Tree
+	tr.Splice(0, 0, Synth(1, 0, 4096))
+	tr.Splice(1000, 100, FromBytes(make([]byte, 100))) // cuts the extent
+	_ = Synth(2, 0, 512).Materialize()
+	after := DataPlaneSnapshot()
+	if after.ExtentSplits == before.ExtentSplits {
+		t.Error("extent split not counted")
+	}
+	if after.MaterializedBytes-before.MaterializedBytes < 512 {
+		t.Error("materialized bytes not counted")
+	}
+	if after.LiveExtents <= 0 {
+		t.Error("live extent gauge not positive while tree is alive")
+	}
+}
+
+func BenchmarkTreeSpliceChurn(b *testing.B) {
+	const size, chunk = 64 << 20, 1 << 16
+	var tr Tree
+	tr.Splice(0, 0, Synth(1, 0, size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%(size/chunk)) * chunk
+		tr.Splice(off, chunk, Synth(uint64(i)+2, off, chunk))
+	}
+}
+
+func BenchmarkTreeSlice(b *testing.B) {
+	const size = 64 << 20
+	var tr Tree
+	// Fragment the tree: alternate seeds so nothing coalesces.
+	for i := int64(0); i < 1024; i++ {
+		tr.Splice(tr.Size(), 0, Synth(uint64(i%2)+1, i*(size/1024), size/1024))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Slice(int64(i%1000)*(size/1024), 1<<16)
+	}
+}

@@ -17,6 +17,7 @@ package payload
 import (
 	"bytes"
 	"fmt"
+	"sort"
 )
 
 // scratchSize is the materialization window used by streaming operations.
@@ -105,8 +106,10 @@ func (p Part) fill(dst []byte, off int64) {
 
 // Materialize returns the part's content as real bytes. Intended for small
 // parts (headers, verification windows); materializing a multi-GB synthetic
-// part is the caller's bug.
+// part is the caller's bug, and anything above the data-plane cap panics
+// (see SetMaterializeCap).
 func (p Part) Materialize() []byte {
+	checkMaterialize(p.Size())
 	out := make([]byte, p.Size())
 	p.fill(out, 0)
 	return out
@@ -122,8 +125,16 @@ func (p Part) Checksum() uint64 {
 
 // Buffer is an ordered sequence of parts, representing size bytes of
 // simulated data. The zero value is an empty buffer.
+//
+// cum is a cumulative-offset index: cum[i] is the end offset of parts[i].
+// Append maintains it incrementally so Slice can binary-search for the first
+// overlapped part instead of scanning the part list; buffers built by direct
+// construction (FromBytes, Synth) carry no index and fall back to the scan,
+// which is free at their one-part size. The index is valid whenever
+// len(cum) == len(parts).
 type Buffer struct {
 	parts []Part
+	cum   []int64
 	size  int64
 }
 
@@ -153,6 +164,11 @@ func (b Buffer) Size() int64 { return b.size }
 // Parts returns the underlying parts (read-only).
 func (b Buffer) Parts() []Part { return b.parts }
 
+// sliceIndexMin is the part count above which Append maintains the
+// cumulative-offset index. Below it a Slice scan touches so few parts that
+// the index would cost more (one extra allocation per buffer) than it saves.
+const sliceIndexMin = 16
+
 // Append adds a part to the buffer.
 func (b *Buffer) Append(p Part) {
 	if p.Size() == 0 {
@@ -160,6 +176,26 @@ func (b *Buffer) Append(p Part) {
 	}
 	b.parts = append(b.parts, p)
 	b.size += p.Size()
+	if len(b.parts) > sliceIndexMin {
+		if len(b.cum) == len(b.parts)-1 {
+			b.cum = append(b.cum, b.size)
+		} else {
+			b.reindex()
+		}
+	}
+}
+
+// reindex rebuilds the cumulative-offset index from scratch. It allocates a
+// fresh slice rather than truncating in place: buffers share part storage
+// freely (Slice aliases, struct copies), and writing through a shared cum
+// array could corrupt a sibling's index.
+func (b *Buffer) reindex() {
+	b.cum = make([]int64, 0, len(b.parts)+1)
+	var c int64
+	for _, p := range b.parts {
+		c += p.Size()
+		b.cum = append(b.cum, c)
+	}
 }
 
 // AppendBuffer concatenates o onto b.
@@ -179,8 +215,17 @@ func (b Buffer) Slice(off, n int64) Buffer {
 	if n == 0 {
 		return out
 	}
+	first := 0
 	pos := int64(0)
-	for _, p := range b.parts {
+	// Binary-search the cumulative index for the first overlapped part; small
+	// or unindexed buffers scan, which is cheaper than the search setup.
+	if len(b.cum) == len(b.parts) && len(b.parts) > sliceIndexMin {
+		first = sort.Search(len(b.cum), func(i int) bool { return b.cum[i] > off })
+		if first > 0 {
+			pos = b.cum[first-1]
+		}
+	}
+	for _, p := range b.parts[first:] {
 		ps := p.Size()
 		if pos+ps <= off {
 			pos += ps
@@ -215,11 +260,15 @@ func (b Buffer) Checksum() uint64 {
 }
 
 // Materialize returns the full content as real bytes. For tests and small
-// buffers only.
+// buffers only; anything above the data-plane cap panics (see
+// SetMaterializeCap).
 func (b Buffer) Materialize() []byte {
-	out := make([]byte, 0, b.size)
+	checkMaterialize(b.size)
+	out := make([]byte, b.size)
+	at := int64(0)
 	for _, p := range b.parts {
-		out = append(out, p.Materialize()...)
+		p.fill(out[at:at+p.Size()], 0)
+		at += p.Size()
 	}
 	return out
 }

@@ -121,9 +121,10 @@ type Engine struct {
 
 	dispatched uint64 // events executed, for events/sec reporting
 
-	live    int // processes spawned and not yet finished
-	nextPID int
-	procs   map[int]*Proc // live processes, for deadlock reporting
+	live     int // processes spawned and not yet finished
+	nextPID  int
+	procs    map[int]*Proc // live processes, for deadlock reporting
+	flowFree []*Proc       // retired flow Procs, recycled by SpawnFlow
 
 	tracer  Tracer
 	failure error // first process panic, aborts the run
@@ -235,6 +236,50 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	return p
 }
 
+// SpawnFlow creates a flow: a lightweight process driven as a state machine
+// by engine callbacks instead of a goroutine. step is invoked once when the
+// flow's start event fires and again on every wakeup; it blocks by calling a
+// Flow* primitive (FlowSleep, Resource.FlowAcquireStart/Retry) and returning,
+// and terminates with FlowEnd.
+//
+// A flow is trace-equivalent to a Spawned process: it occupies one pid, emits
+// the same proc.start/proc.end records, counts toward LiveProcs, appears in
+// deadlock reports, and pushes events in exactly the same order — so
+// converting a process to a flow cannot change simulation results (see
+// TestFlowMatchesProcTrace). What it saves is the host-side cost: no
+// goroutine, no handoff channels, no per-spawn allocation (retired flow Procs
+// are recycled through a freelist).
+func (e *Engine) SpawnFlow(name string, step func(*Proc, int)) *Proc {
+	var p *Proc
+	if n := len(e.flowFree); n > 0 {
+		p = e.flowFree[n-1]
+		e.flowFree[n-1] = nil
+		e.flowFree = e.flowFree[:n-1]
+		p.token++ // retire any registration that survived the previous life
+		p.started, p.done = false, false
+	} else {
+		p = &Proc{e: e}
+	}
+	e.nextPID++
+	p.name, p.id, p.step = name, e.nextPID, step
+	e.live++
+	e.procs[p.id] = p
+	// The start event is a plain resume bound to the current token: one push,
+	// exactly like Spawn's start callback, but with no closure allocation.
+	e.scheduleResume(p, e.now, wakeSignal)
+	return p
+}
+
+// recycleFlow returns a finished flow Proc to the freelist. The token is
+// deliberately not reset: it only ever grows, so wakeups addressed to a
+// previous life can never match a recycled Proc.
+func (e *Engine) recycleFlow(p *Proc) {
+	p.step = nil
+	p.name = ""
+	p.blockKind, p.blockName = "", ""
+	e.flowFree = append(e.flowFree, p)
+}
+
 func (e *Engine) start(p *Proc, fn func(*Proc)) {
 	p.started = true
 	e.tracer.Trace(e.now, "proc.start", p.name, "")
@@ -263,8 +308,40 @@ func (e *Engine) resume(p *Proc, token uint64, reason int) {
 	if p.done || p.token != token {
 		return
 	}
+	if p.step != nil {
+		e.resumeFlow(p, reason)
+		return
+	}
 	p.wake <- reason
 	<-e.parked
+}
+
+// resumeFlow advances a flow in engine context. The first wakeup doubles as
+// the start event (tracing proc.start, as Engine.start does for goroutine
+// processes); the token bump mirrors park's increment-on-wake. A panic in the
+// step function is converted into the run failure exactly like a process
+// panic, including the proc.end record.
+func (e *Engine) resumeFlow(p *Proc, reason int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e.failure == nil {
+				e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			if !p.done {
+				p.done = true
+				e.live--
+				delete(e.procs, p.id)
+				e.tracer.Trace(e.now, "proc.end", p.name, "")
+			}
+		}
+	}()
+	if !p.started {
+		p.started = true
+		e.tracer.Trace(e.now, "proc.start", p.name, "")
+	}
+	p.token++
+	p.blockKind, p.blockName = "", ""
+	p.step(p, reason)
 }
 
 // scheduleResume schedules a wakeup of p at time t, bound to p's current wait
@@ -410,6 +487,15 @@ func (e *Engine) Shutdown() {
 				victim.done = true
 				e.live--
 				delete(e.procs, victim.id)
+				continue
+			}
+			if victim.step != nil {
+				// Flows have no goroutine; retiring one is bookkeeping plus
+				// the same proc.end record a killed process would emit.
+				victim.done = true
+				e.live--
+				delete(e.procs, victim.id)
+				e.tracer.Trace(e.now, "proc.end", victim.name, "")
 				continue
 			}
 			victim.wake <- wakeKill

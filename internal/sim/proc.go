@@ -18,6 +18,13 @@ type Proc struct {
 	started bool
 	done    bool
 
+	// step, when non-nil, marks this process as a flow: a state machine
+	// driven by engine callbacks instead of a goroutine (see Engine.SpawnFlow).
+	// The engine invokes step on every wakeup; the function parks by setting
+	// blockKind and returning, so a flow costs no goroutine, no channel, and
+	// no stack — only the events it schedules.
+	step func(p *Proc, reason int)
+
 	// blockKind/blockName describe what the process is blocked on, kept as
 	// two pieces so the hot path never concatenates strings; blockReason()
 	// joins them only for deadlock reports.
@@ -50,6 +57,37 @@ func (p *Proc) park(kind, name string) int {
 	p.token++
 	p.blockKind, p.blockName = "", ""
 	return r
+}
+
+// flowPark records what a flow is blocked on and returns control to the
+// engine. The flow's step function will be re-invoked by the next matching
+// wakeup; unlike park there is no goroutine to suspend, so parking is just
+// two field writes.
+func (p *Proc) flowPark(kind, name string) {
+	p.blockKind, p.blockName = kind, name
+}
+
+// FlowSleep schedules the flow's next step after d of virtual time. It
+// pushes exactly the same resume event Sleep does, so replacing a
+// goroutine-backed process with a flow is invisible to the event sequence.
+// It must be the last simulated action of the current step.
+func (p *Proc) FlowSleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.scheduleResume(p, p.e.now.Add(d), wakeSignal)
+	p.flowPark("sleep", "")
+}
+
+// FlowEnd terminates the flow, emitting the same proc.end trace record a
+// goroutine-backed process emits when its function returns. The Proc is
+// recycled; the caller must not touch it afterwards.
+func (p *Proc) FlowEnd() {
+	p.done = true
+	p.e.live--
+	delete(p.e.procs, p.id)
+	p.e.tracer.Trace(p.e.now, "proc.end", p.name, "")
+	p.e.recycleFlow(p)
 }
 
 // blockReason renders the blocked-on description for deadlock reports.

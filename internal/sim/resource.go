@@ -67,6 +67,45 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	}
 }
 
+// FlowAcquireStart begins acquiring n units for flow p. It returns true when
+// the units were granted immediately (the same condition under which Acquire
+// returns without parking); otherwise the flow is enqueued and parked, and
+// its step function must call FlowAcquireRetry on each subsequent wakeup
+// until that returns true.
+func (r *Resource) FlowAcquireStart(p *Proc, n int64) bool {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid acquire amount on " + r.name)
+	}
+	if r.waitq.len() == 0 && r.used+n <= r.capacity {
+		r.used += n
+		return true
+	}
+	r.waitq.push(resWaiter{waiter{p, p.token}, n})
+	p.flowPark("resource.acquire", r.name)
+	return false
+}
+
+// FlowAcquireRetry re-attempts a parked flow acquisition after a wakeup,
+// mirroring the woken branch of Acquire exactly: grant if p heads the queue
+// and its request fits (admitting the next waiter), otherwise re-register the
+// current token and park again.
+func (r *Resource) FlowAcquireRetry(p *Proc, n int64) bool {
+	if r.waitq.len() > 0 && r.waitq.at(0).w.p == p && r.used+n <= r.capacity {
+		r.waitq.pop()
+		r.used += n
+		r.admit()
+		return true
+	}
+	// Spurious wake (not at head, or capacity taken): re-register token.
+	for i := 0; i < r.waitq.len(); i++ {
+		if rw := r.waitq.at(i); rw.w.p == p {
+			rw.w.token = p.token
+		}
+	}
+	p.flowPark("resource.acquire", r.name)
+	return false
+}
+
 // Release returns n units and admits queued acquirers in FIFO order.
 func (r *Resource) Release(n int64) {
 	if n <= 0 || n > r.used {

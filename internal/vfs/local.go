@@ -227,7 +227,7 @@ func (f *File) Close() {
 }
 
 // Content returns the file's full content (no timing cost; for verification).
-func (f *File) Content() payload.Buffer { return f.c.data }
+func (f *File) Content() payload.Buffer { return f.c.data() }
 
 // writeback flushes at least n dirty bytes, oldest files first, charging the
 // calling (throttled) process.

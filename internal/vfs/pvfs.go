@@ -190,7 +190,7 @@ func (h *Handle) ReadAt(p *sim.Proc, off, n int64) payload.Buffer {
 }
 
 // Content returns the file's full content (no timing cost; for verification).
-func (h *Handle) Content() payload.Buffer { return h.f.c.data }
+func (h *Handle) Content() payload.Buffer { return h.f.c.data() }
 
 // Close releases the handle and its server stream registrations.
 func (h *Handle) Close() {
