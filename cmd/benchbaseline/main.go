@@ -36,6 +36,7 @@ import (
 	"ibmig/internal/mem"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
+	"ibmig/internal/obs"
 	"ibmig/internal/payload"
 	"ibmig/internal/sim"
 )
@@ -99,6 +100,26 @@ type Baseline struct {
 		RegionWriteChurn Micro `json:"region_write_churn"`
 	} `json:"data_plane"`
 
+	// Obs characterizes the observability layer on an observed paper-scale
+	// LU migration: the RDMA chunk-latency distribution, the hottest IB link,
+	// companion latency histograms, and the cost accounting (disabled-path
+	// ns/op must stay within the ≤2% overhead budget; observed wall time
+	// shows the enabled cost at full scale).
+	Obs struct {
+		Kernel             string  `json:"kernel"`
+		RDMAChunks         int64   `json:"rdma_chunks"`
+		RDMAChunkP50US     float64 `json:"rdma_chunk_p50_us"`
+		RDMAChunkP99US     float64 `json:"rdma_chunk_p99_us"`
+		PeakLink           string  `json:"peak_link"`
+		PeakLinkBusyFrac   float64 `json:"peak_link_busy_frac"`
+		AggWaitP99US       float64 `json:"agg_wait_p99_us"`
+		FTBDeliveryP50US   float64 `json:"ftb_delivery_p50_us"`
+		Spans              int     `json:"spans"`
+		ObservedWallS      float64 `json:"observed_wall_s"`
+		DisabledPathNsOp   float64 `json:"disabled_path_ns_per_op"`
+		DisabledPathAllocs int64   `json:"disabled_path_allocs_per_op"`
+	} `json:"obs"`
+
 	// PreOptimization pins the numbers measured on the same host immediately
 	// before the hot-path overhaul (ready-ring batching, event freelist, ring
 	// wait lists, checksum memoization), for before/after comparison.
@@ -113,9 +134,51 @@ func microOf(r testing.BenchmarkResult, events uint64) Micro {
 	return m
 }
 
+// measureObs fills the obs section from one observed migration plus the
+// disabled-path microbenchmark.
+func measureObs(b *Baseline, sc exp.Scale) {
+	fmt.Fprintln(os.Stderr, "observed migration (obs section)...")
+	payload.ResetChecksumCache()
+	start := time.Now()
+	_, col := exp.RunMigrationObserved(npb.LU, sc, core.Options{}, false)
+	b.Obs.ObservedWallS = time.Since(start).Seconds()
+	b.Obs.Kernel = "LU"
+	h := col.Histogram("ib.rdma_read_us")
+	b.Obs.RDMAChunks = h.Count()
+	b.Obs.RDMAChunkP50US = h.Quantile(0.50)
+	b.Obs.RDMAChunkP99US = h.Quantile(0.99)
+	b.Obs.AggWaitP99US = col.Histogram("core.agg_wait_us").Quantile(0.99)
+	b.Obs.FTBDeliveryP50US = col.Histogram("ftb.delivery_us").Quantile(0.50)
+	b.Obs.Spans = len(col.Spans())
+	// All capacity-1 links peak at 100%, so "hottest" means busiest fraction
+	// of its active window, not highest instantaneous peak.
+	var peakName string
+	var peakBusy float64
+	for _, name := range col.TopTracks("ib.") {
+		if busy := col.Track(name).BusyFraction(); busy > peakBusy {
+			peakName, peakBusy = name, busy
+		}
+	}
+	b.Obs.PeakLink, b.Obs.PeakLinkBusyFrac = peakName, peakBusy
+
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		e := sim.NewEngine(1)
+		for i := 0; i < tb.N; i++ {
+			c := obs.Get(e)
+			id := c.StartSpan(e.Now(), "x", "a", 0)
+			c.EndSpan(e.Now(), id)
+			c.Hist("h", obs.LatencyBucketsUS).Observe(1)
+		}
+	})
+	b.Obs.DisabledPathNsOp = float64(r.NsPerOp())
+	b.Obs.DisabledPathAllocs = r.AllocsPerOp()
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
+	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -165,6 +228,30 @@ func main() {
 		b.Scale = "quick"
 	}
 	sc.Seed = *seed
+
+	// Incremental mode: a full regeneration takes minutes, so -only re-measures
+	// one section into the existing file and leaves the rest untouched.
+	if *only != "" {
+		if *only != "obs" {
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs)\n", *only)
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		measureObs(&b, sc)
+		writeBaseline(*out, &b)
+		fmt.Printf("updated obs section of %s (p50=%.1fµs p99=%.1fµs over %d chunks, hottest link %s at %.1f%%)\n",
+			*out, b.Obs.RDMAChunkP50US, b.Obs.RDMAChunkP99US, b.Obs.RDMAChunks,
+			b.Obs.PeakLink, b.Obs.PeakLinkBusyFrac*100)
+		return
+	}
 
 	// --- kernel microbenchmarks ------------------------------------------
 	fmt.Fprintln(os.Stderr, "kernel microbenchmarks...")
@@ -333,6 +420,9 @@ func main() {
 	}
 	exp.SetParallelism(1)
 
+	// --- observability ----------------------------------------------------
+	measureObs(&b, sc)
+
 	// Measured 2026-08-05 on the same host (1 vCPU) at commit 6f7b7e9,
 	// immediately before the overhaul.
 	b.PreOptimization = map[string]any{
@@ -342,15 +432,19 @@ func main() {
 		"paper_lu_comparison_wall_s": 8.82,
 	}
 
-	data, err := json.MarshalIndent(&b, "", "  ")
+	writeBaseline(*out, &b)
+	fmt.Printf("wrote %s (paper comparison %.2fs wall, %.2f Mev/s)\n",
+		*out, b.PaperComparison.WallS, b.PaperComparison.MevPerS)
+}
+
+func writeBaseline(path string, b *Baseline) {
+	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		panic(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (paper comparison %.2fs wall, %.2f Mev/s)\n",
-		*out, b.PaperComparison.WallS, b.PaperComparison.MevPerS)
 }

@@ -12,6 +12,7 @@ import (
 
 	"ibmig/internal/cluster"
 	"ibmig/internal/health"
+	"ibmig/internal/obs"
 	"ibmig/internal/sim"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		return false
 	}})
 	c := cluster.New(e, cluster.Config{ComputeNodes: *nodes, SpareNodes: 1, PVFSServers: 0})
+	col := obs.Enable(e)
 
 	// Health monitors: node03's temperature ramps into the critical range;
 	// everyone else stays healthy.
@@ -80,4 +82,41 @@ func main() {
 		fmt.Println("\nno failure predicted in this run")
 	}
 	fmt.Printf("backplane: %d events published, %d deliveries\n", c.FTB.Published, c.FTB.Delivered)
+
+	// Publish→deliver latency across the agent tree: same-node deliveries sit
+	// at the client-hop floor; remote subscribers add GigE tree propagation.
+	col.Finish(e.Now())
+	if h := col.Histogram("ftb.delivery_us"); h.Count() > 0 {
+		fmt.Printf("\nFTB publish->deliver latency (%d deliveries):\n", h.Count())
+		fmt.Printf("  p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs mean=%.1fµs\n",
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max(), h.Mean())
+		var cum int64
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			label := fmt.Sprintf("> %8.0fµs", h.Bounds[len(h.Bounds)-1])
+			if i < len(h.Bounds) {
+				label = fmt.Sprintf("<=%8.0fµs", h.Bounds[i])
+			}
+			fmt.Printf("  %s  %-40s %d\n", label, bar(n, h.N, 40), n)
+			if cum == h.N {
+				break
+			}
+		}
+	}
+}
+
+// bar renders n/total as a proportional block bar of the given width.
+func bar(n, total int64, width int) string {
+	w := int(float64(n) / float64(total) * float64(width))
+	if w < 1 {
+		w = 1
+	}
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
 }

@@ -25,6 +25,7 @@ import (
 	"ibmig/internal/ftb"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
+	"ibmig/internal/obs"
 	"ibmig/internal/sim"
 )
 
@@ -45,7 +46,12 @@ func main() {
 	verify := flag.Bool("verify", false, "checksum images end to end (slower)")
 	trace := flag.Bool("trace", false, "stream framework trace events")
 	timeline := flag.Bool("timeline", false, "print the migration's event timeline (the paper's Fig. 2 sequence)")
+	obsOn := flag.Bool("obs", false, "collect observability data (spans, metrics, device utilization) and print a summary")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (implies -obs)")
 	flag.Parse()
+	if *traceOut != "" {
+		*obsOn = true
+	}
 
 	w := npb.New(npb.Kernel(*app), npb.Class((*class)[0]), *np)
 	if *np%*ppn != 0 {
@@ -98,6 +104,10 @@ func main() {
 	})
 	res := npb.NewResult(w.Ranks)
 	fw := core.Launch(c, w, *ppn, res, opts)
+	var col *obs.Collector
+	if *obsOn {
+		col = obs.Enable(e)
+	}
 
 	src := c.Compute[len(c.Compute)/2].Name
 	if *faultKind != "" {
@@ -162,10 +172,13 @@ func main() {
 		e.Stop()
 	})
 	if err := e.Run(); err != nil {
+		e.Shutdown() // flush tracers; the collected observability data is still valid
+		dumpObs(col, e.Now(), *traceOut)
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		os.Exit(1)
 	}
 	e.Shutdown()
+	dumpObs(col, e.Now(), *traceOut)
 
 	if report == nil {
 		fmt.Println("no fault-tolerance action completed")
@@ -191,4 +204,35 @@ func main() {
 	if *verify {
 		fmt.Println("image verification: enabled (restart would have failed on any corruption)")
 	}
+}
+
+// dumpObs finishes the collector, prints its plain-text summary, and writes
+// the Chrome trace-event file when requested. No-op without -obs.
+func dumpObs(col *obs.Collector, now sim.Time, traceOut string) {
+	if col == nil {
+		return
+	}
+	col.Finish(now)
+	fmt.Println("\nObservability summary:")
+	if err := obs.WriteSummary(os.Stdout, col); err != nil {
+		fmt.Fprintln(os.Stderr, "obs summary:", err)
+	}
+	if traceOut == "" {
+		return
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace-out:", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, col); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace-out:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote Perfetto trace to %s (load at ui.perfetto.dev)\n", traceOut)
 }

@@ -40,13 +40,15 @@ import (
 	"ibmig/internal/exp"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
+	"ibmig/internal/obs"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep")
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline")
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
+	traceOut := flag.String("trace-out", "", "timeline experiment: write the Chrome/Perfetto trace-event JSON here")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -144,6 +146,44 @@ func main() {
 	run("interval", func() {
 		mig, _, pvfs, _ := exp.RunComparison(npb.LU, sc, core.Options{})
 		fmt.Println(exp.FormatInterval(exp.IntervalStudy(mig, pvfs)))
+	})
+	run("timeline", func() {
+		// Not part of the paper's figures: an observed migration whose span
+		// timeline, latency histograms and device utilization decompose where
+		// the time of Fig. 4 actually goes. -trace-out saves the Perfetto file.
+		_, col := exp.RunMigrationObserved(npb.LU, sc, core.Options{}, false)
+		fmt.Printf("Timeline — observed LU.%c migration (load -trace-out in ui.perfetto.dev)\n", sc.Class)
+		if err := obs.WriteSummary(os.Stdout, col); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if h := col.Histogram("ib.rdma_read_us"); h.Count() > 0 {
+			fmt.Printf("RDMA chunk latency: p50=%.1fµs p99=%.1fµs over %d chunks\n",
+				h.Quantile(0.50), h.Quantile(0.99), h.Count())
+		}
+		var hot string
+		var hotBusy float64
+		for _, name := range col.TopTracks("ib.") {
+			if b := col.Track(name).BusyFraction(); b > hotBusy {
+				hot, hotBusy = name, b
+			}
+		}
+		if hot != "" {
+			fmt.Printf("hottest IB link: %s (busy %.1f%% of its active window)\n", hot, hotBusy*100)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = obs.WriteChromeTrace(f, col)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace-out:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
 	})
 	run("sweep", func() {
 		ranks := exp.DefaultSweepRanks

@@ -1,0 +1,45 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// migsim -trace-out (or any exporter): well-formed JSON, a traceEvents array,
+// monotonic per-track timestamps, and balanced, properly nested B/E pairs.
+// It exits non-zero with a diagnostic on the first violation — the CI gate
+// that keeps exported timelines Perfetto-loadable.
+//
+// Usage: tracecheck FILE.json [FILE.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ibmig/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.json [FILE.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		_ = json.Unmarshal(data, &doc)
+		fmt.Printf("%s: ok (%d events)\n", path, len(doc.TraceEvents))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"ibmig/internal/gige"
 	"ibmig/internal/ib"
 	"ibmig/internal/mem"
+	"ibmig/internal/obs"
 	"ibmig/internal/payload"
 	"ibmig/internal/sim"
 	"ibmig/internal/vfs"
@@ -34,6 +35,12 @@ type srcBufMgr struct {
 	sock      *gige.Conn        // data connection (socket transport)
 	complete  *sim.Event
 	aborted   bool
+
+	// Observability (all nil/zero when the collector is disabled).
+	oc         *obs.Collector
+	aggWait    *obs.Histogram
+	poolName   string
+	poolChunks int64
 
 	ChunksSent int64
 }
@@ -60,6 +67,13 @@ func newSrcBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationSt
 	}
 	for off := int64(0); off+s.chunkSize <= opts.BufferPoolBytes; off += s.chunkSize {
 		s.free.TrySend(off)
+		s.poolChunks++
+	}
+	if c := obs.Get(fw.C.E); c != nil {
+		s.oc = c
+		s.aggWait = c.Hist("core.agg_wait_us", obs.LatencyBucketsUS)
+		s.poolName = "bufpool." + node.Name
+		s.notePool(fw.C.E.Now())
 	}
 	switch opts.Transport {
 	case TransportRDMA:
@@ -81,6 +95,7 @@ func newSrcBufMgr(p *sim.Proc, fw *Framework, node *cluster.Node, m *migrationSt
 				case kRelease:
 					if !s.free.Closed() {
 						s.free.TrySend(cm.poolOff)
+						s.notePool(pp.Now())
 					}
 				case kComplete:
 					s.complete.Fire()
@@ -135,6 +150,15 @@ func (s *srcBufMgr) abort() {
 	s.complete.Fire()
 }
 
+// notePool samples the aggregation-pool occupancy (chunks in use) into the
+// collector's usage track. No-op when observability is disabled.
+func (s *srcBufMgr) notePool(t sim.Time) {
+	if s.oc == nil {
+		return
+	}
+	s.oc.Usage(t, s.poolName, s.poolChunks-int64(s.free.Len()), s.poolChunks)
+}
+
 // sink returns the aggregation sink for one rank's checkpoint stream.
 func (s *srcBufMgr) sink(rank int) *aggSink {
 	return &aggSink{mgr: s, rank: rank, cur: -1}
@@ -161,6 +185,7 @@ func (s *srcBufMgr) sendChunk(p *sim.Proc, rank int, fileOff, poolOff, size int6
 	}
 	if !s.free.Closed() {
 		s.free.TrySend(poolOff)
+		s.notePool(p.Now())
 	}
 	return nil
 }
@@ -189,9 +214,14 @@ type aggSink struct {
 func (a *aggSink) Write(p *sim.Proc, b payload.Buffer) error {
 	for b.Size() > 0 {
 		if a.cur < 0 {
+			waitStart := p.Now()
 			off, ok := a.mgr.free.Recv(p)
 			if !ok {
 				return errAborted
+			}
+			if a.mgr.oc != nil {
+				a.mgr.aggWait.Observe(float64(p.Now().Sub(waitStart)) / 1e3)
+				a.mgr.notePool(p.Now())
 			}
 			a.cur, a.fill = off, 0
 		}

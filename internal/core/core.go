@@ -37,6 +37,7 @@ import (
 	"ibmig/internal/metrics"
 	"ibmig/internal/mpi"
 	"ibmig/internal/npb"
+	"ibmig/internal/obs"
 	"ibmig/internal/proc"
 	"ibmig/internal/sim"
 )
@@ -152,6 +153,29 @@ func (fw *Framework) notifyPhase(p *sim.Proc, seq, phase int) {
 	}
 }
 
+// obsC returns the engine's observability collector (nil when off).
+func (fw *Framework) obsC() *obs.Collector { return obs.Get(fw.C.E) }
+
+// beginPhase closes the attempt's current phase span and opens the named one
+// as a child of the attempt span. No-op when observability is off.
+func (m *migrationState) beginPhase(c *obs.Collector, t sim.Time, name string) {
+	if c == nil {
+		return
+	}
+	c.EndSpan(t, m.phaseSpan)
+	m.phaseSpan = c.StartSpan(t, name, "jm", m.span)
+}
+
+// endAttempt closes the open phase span and the attempt span.
+func (m *migrationState) endAttempt(c *obs.Collector, t sim.Time) {
+	if c == nil {
+		return
+	}
+	c.EndSpan(t, m.phaseSpan)
+	m.phaseSpan = 0
+	c.EndSpan(t, m.span)
+}
+
 // migrationState is the in-flight migration shared between JM and NLAs (the
 // in-process stand-in for state the real components keep per MPI job).
 type migrationState struct {
@@ -175,6 +199,11 @@ type migrationState struct {
 	// pipelineDone, under RestartPipelined, signals per-rank on-the-fly
 	// restart completion.
 	pipelineDone map[int]*sim.Event
+
+	// Observability: the attempt's span and the currently open phase child
+	// span (both 0 when observability is off).
+	span      obs.SpanID
+	phaseSpan obs.SpanID
 
 	// Recovery bookkeeping.
 	phase          int             // 1..4, last phase entered
@@ -359,8 +388,14 @@ func (fw *Framework) Checkpoint(p *sim.Proc, target cr.Target) (*metrics.Report,
 	}
 	fw.ckptActive = true
 	defer func() { fw.ckptActive = false }()
+	var span obs.SpanID
+	c := fw.obsC()
+	if c != nil {
+		span = c.StartSpan(p.Now(), fmt.Sprintf("checkpoint(%s)", target), "jm", 0)
+	}
 	r := cr.NewRunner(fw.C, fw.W, target, fw.opts.Hash)
 	rep := r.Checkpoint(p)
+	c.EndSpan(p.Now(), span)
 	fw.ckpt = r
 	fw.trigger.Publish(p, ftb.Event{Namespace: ftb.NamespaceMVAPICH, Name: eventCkptDone})
 	return rep, nil

@@ -190,6 +190,11 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 	}
 	m.watch = metrics.NewStopwatch(m.report, p.Now())
 	fw.current = m
+	if c := fw.obsC(); c != nil {
+		m.span = c.StartSpan(p.Now(), fmt.Sprintf("migration#%d %s->%s", m.seq, src, dst), "jm", 0)
+		c.SpanAttr(m.span, "ranks", fmt.Sprint(len(ranks)))
+		m.beginPhase(c, p.Now(), "phase1.stall")
+	}
 	p.Trace("core.jm", fmt.Sprintf("FTB_MIGRATE %s -> %s (%d ranks)", src, dst, len(ranks)))
 	jm.client.Publish(p, ftb.Event{
 		Namespace: ftb.NamespaceMVAPICH,
@@ -207,6 +212,7 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 	m.sus.WaitAllSuspended(p)
 	m.watch.Lap(metrics.PhaseStall, p.Now())
 	fw.notifyPhase(p, m.seq, 1)
+	m.beginPhase(fw.obsC(), p.Now(), "phase2.migrate")
 	m.suspended.Fire() // the source NLA may now checkpoint
 	m.phase = 2
 	fw.notifyPhase(p, m.seq, 2)
@@ -222,6 +228,7 @@ func (jm *JobManager) onPIIC(p *sim.Proc, ev ftb.Event) {
 	}
 	m.watch.Lap(metrics.PhaseMigrate, p.Now())
 	m.piicAt = p.Now()
+	m.beginPhase(jm.fw.obsC(), p.Now(), "phase3.restart")
 	m.phase = 3
 	// Re-home the target under the login root; the source leaves the tree.
 	delete(jm.spawnTree, m.src)
@@ -251,6 +258,7 @@ func (jm *JobManager) onRestartDone(p *sim.Proc, ev ftb.Event) {
 		return
 	}
 	m.watch.Lap(metrics.PhaseRestart, p.Now())
+	m.beginPhase(jm.fw.obsC(), p.Now(), "phase4.resume")
 	m.phase = 4
 	jm.fw.notifyPhase(p, m.seq, 4)
 	if !jm.nodeUsable(m.dst) {
@@ -264,6 +272,7 @@ func (jm *JobManager) onRestartDone(p *sim.Proc, ev ftb.Event) {
 	m.sus.Resume()
 	m.sus.WaitAllResumed(p)
 	m.watch.Lap(metrics.PhaseResume, p.Now())
+	m.endAttempt(jm.fw.obsC(), p.Now())
 
 	jm.fw.lastVerified = m.restoredOK
 	p.Trace("core.jm", fmt.Sprintf("migration #%d complete: %s", m.seq, m.report))
@@ -373,6 +382,10 @@ func (jm *JobManager) recover(p *sim.Proc, m *migrationState, reason string) {
 	m.aborted = true
 	jm.MigrationsAborted++
 	m.report.Extra["aborts"]++
+	if c := fw.obsC(); c != nil {
+		m.beginPhase(c, p.Now(), "recover")
+		c.SpanAttr(m.phaseSpan, "reason", reason)
+	}
 	m.abortTeardown()
 	for _, nla := range fw.nlaList {
 		if nla.State() != StateInactive && !jm.nodeUsable(nla.node.Name) {
@@ -419,6 +432,11 @@ func (jm *JobManager) startRetry(p *sim.Proc, prev *migrationState, dst string) 
 	}
 	m.report.Label += fmt.Sprintf(" retry->%s", dst)
 	fw.current = m
+	if c := fw.obsC(); c != nil {
+		prev.endAttempt(c, p.Now())
+		m.span = c.StartSpan(p.Now(), fmt.Sprintf("migration#%d %s->%s (retry)", m.seq, m.src, dst), "jm", 0)
+		m.beginPhase(c, p.Now(), "phase2.migrate")
+	}
 	m.suspended.Fire() // Phase 1 already holds from the previous attempt
 	p.Trace("core.jm", fmt.Sprintf("FTB_MIGRATE retry %s -> %s (seq %d)", m.src, dst, m.seq))
 	jm.client.Publish(p, ftb.Event{
@@ -434,9 +452,11 @@ func (jm *JobManager) startRetry(p *sim.Proc, prev *migrationState, dst string) 
 // suspension is lifted and the job continues where it was.
 func (jm *JobManager) resumeInPlace(p *sim.Proc, m *migrationState) {
 	m.watch.Lap("Aborted", p.Now())
+	m.beginPhase(jm.fw.obsC(), p.Now(), "resume-in-place")
 	m.sus.Resume()
 	m.sus.WaitAllResumed(p)
 	m.watch.Lap(metrics.PhaseResume, p.Now())
+	m.endAttempt(jm.fw.obsC(), p.Now())
 	// The processes never moved; the original images are intact.
 	jm.fw.lastVerified = true
 	jm.finishCycle(p, m, false)
@@ -478,6 +498,7 @@ func (jm *JobManager) crFallback(p *sim.Proc, m *migrationState) {
 		placement[r.ID()] = sp
 	}
 	p.Trace("core.jm", fmt.Sprintf("migration #%d: CR fallback (%d ranks relocated)", m.seq, len(placement)))
+	m.beginPhase(fw.obsC(), p.Now(), "cr-fallback")
 	if err := fw.ckpt.RestartInPlace(p, placement); err != nil {
 		jm.abandon(p, m, "CR fallback failed: "+err.Error())
 		return
@@ -496,6 +517,7 @@ func (jm *JobManager) crFallback(p *sim.Proc, m *migrationState) {
 	m.sus.Resume()
 	m.sus.WaitAllResumed(p)
 	m.watch.Lap(metrics.PhaseResume, p.Now())
+	m.endAttempt(fw.obsC(), p.Now())
 	jm.fw.lastVerified = fw.ckpt.Verified
 	jm.finishCycle(p, m, false)
 }
@@ -505,6 +527,10 @@ func (jm *JobManager) crFallback(p *sim.Proc, m *migrationState) {
 // and JobLost records why.
 func (jm *JobManager) abandon(p *sim.Proc, m *migrationState, reason string) {
 	jm.JobLost = true
+	if c := jm.fw.obsC(); c != nil {
+		c.SpanAttr(m.span, "job_lost", reason)
+		m.endAttempt(c, p.Now())
+	}
 	p.Trace("core.jm", fmt.Sprintf("migration #%d: job lost — %s", m.seq, reason))
 	jm.fw.Reports = append(jm.fw.Reports, m.report)
 	jm.fw.current = nil

@@ -7,6 +7,7 @@ import (
 	"ibmig/internal/cluster"
 	"ibmig/internal/ftb"
 	"ibmig/internal/ib"
+	"ibmig/internal/obs"
 	"ibmig/internal/sim"
 )
 
@@ -171,17 +172,27 @@ func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 
 	// Checkpoint all local ranks concurrently; each rank's C/R thread writes
 	// its image into the shared buffer pool.
+	oc := obs.Get(a.fw.C.E)
+	var srcSpan obs.SpanID
+	if oc != nil {
+		srcSpan = oc.StartSpan(p.Now(), "src.checkpoint", a.node.Name+"/nla", m.span)
+	}
 	wg := sim.NewWaitGroup(a.fw.C.E)
 	wg.Add(len(m.ranks))
 	for _, r := range m.ranks {
 		r := r
 		p.SpawnChild(fmt.Sprintf("core.crthread.%d", r.ID()), func(cp *sim.Proc) {
 			defer wg.Done()
+			var rs obs.SpanID
+			if oc != nil {
+				rs = oc.StartSpan(cp.Now(), fmt.Sprintf("ckpt.rank%d", r.ID()), a.node.Name+"/nla", srcSpan)
+			}
 			sink := src.sink(r.ID())
 			info, err := blcr.Checkpoint(cp, r.OS, nil, sink, blcr.Options{Hash: opts.Hash})
 			if err == nil {
 				err = sink.close(cp, info.Bytes)
 			}
+			oc.EndSpan(cp.Now(), rs)
 			if err != nil {
 				a.reportFailure(cp, m, "", fmt.Sprintf("checkpoint rank %d", r.ID()), err)
 				return
@@ -190,6 +201,7 @@ func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 		})
 	}
 	wg.Wait(p)
+	oc.EndSpan(p.Now(), srcSpan)
 	if m.aborted {
 		return
 	}
@@ -231,6 +243,12 @@ func (a *NLA) runTarget(p *sim.Proc, m *migrationState) {
 	}
 	tgt.onFail = func(fp *sim.Proc, node, what string, err error) {
 		a.reportFailure(fp, m, node, what, err)
+	}
+	oc := obs.Get(a.fw.C.E)
+	var pullSpan obs.SpanID
+	if oc != nil {
+		pullSpan = oc.StartSpan(p.Now(), "tgt.pull", a.node.Name+"/nla", m.span)
+		defer func() { oc.EndSpan(p.Now(), pullSpan) }()
 	}
 	if a.fw.opts.RestartMode == RestartPipelined {
 		// On-the-fly restart: as soon as a rank's image is complete, rebuild
@@ -278,6 +296,12 @@ func (a *NLA) restartRank(p *sim.Proc, m *migrationState, rank int, src blcr.Sou
 func (a *NLA) runRestart(p *sim.Proc, m *migrationState) {
 	opts := a.fw.opts
 	failed := false
+	oc := obs.Get(a.fw.C.E)
+	var rsSpan obs.SpanID
+	if oc != nil {
+		rsSpan = oc.StartSpan(p.Now(), "tgt.restart", a.node.Name+"/nla", m.span)
+		defer func() { oc.EndSpan(p.Now(), rsSpan) }()
+	}
 	if opts.RestartMode == RestartPipelined {
 		for _, r := range m.ranks {
 			m.pipelineDone[r.ID()].Wait(p)
@@ -291,6 +315,11 @@ func (a *NLA) runRestart(p *sim.Proc, m *migrationState) {
 				defer wg.Done()
 				if m.aborted {
 					return
+				}
+				var rrs obs.SpanID
+				if oc != nil {
+					rrs = oc.StartSpan(rp.Now(), fmt.Sprintf("restart.rank%d", r.ID()), a.node.Name+"/nla", rsSpan)
+					defer func() { oc.EndSpan(rp.Now(), rrs) }()
 				}
 				var srcStream blcr.Source
 				if opts.RestartMode == RestartFile {

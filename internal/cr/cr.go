@@ -22,6 +22,7 @@ import (
 	"ibmig/internal/cluster"
 	"ibmig/internal/metrics"
 	"ibmig/internal/mpi"
+	"ibmig/internal/obs"
 	"ibmig/internal/proc"
 	"ibmig/internal/sim"
 )
@@ -145,6 +146,10 @@ func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
 // on ext3 — a checkpoint that only exists in the page cache is worthless),
 // returning the stream size.
 func (r *Runner) checkpointRank(cp *sim.Proc, rk *mpi.Rank) int64 {
+	if c := obs.Get(r.C.E); c != nil {
+		span := c.StartSpan(cp.Now(), fmt.Sprintf("cr.ckpt.rank%d", rk.ID()), rk.Node()+"/cr", 0)
+		defer func() { c.EndSpan(cp.Now(), span) }()
+	}
 	if r.Hash {
 		r.sums[rk.ID()] = rk.OS.Checksum()
 	}
@@ -202,6 +207,10 @@ func (r *Runner) Restart(p *sim.Proc) sim.Duration {
 		p.SpawnChild(fmt.Sprintf("cr.restart.%d", rk.ID()), func(rp *sim.Proc) {
 			defer wg.Done()
 			node := rk.Node()
+			if c := obs.Get(r.C.E); c != nil {
+				span := c.StartSpan(rp.Now(), fmt.Sprintf("cr.restart.rank%d", rk.ID()), node+"/cr", 0)
+				defer func() { c.EndSpan(rp.Now(), span) }()
+			}
 			var src blcr.Source
 			if r.Target == Ext3 {
 				f, err := r.C.Node(node).FS.Open(rp, r.files[rk.ID()])
@@ -289,6 +298,10 @@ func (r *Runner) RestartInPlace(p *sim.Proc, placement map[int]string) error {
 		p.SpawnChild(fmt.Sprintf("cr.fallback.%d", rk.ID()), func(rp *sim.Proc) {
 			defer wg.Done()
 			node := dest[rk.ID()]
+			if c := obs.Get(r.C.E); c != nil {
+				span := c.StartSpan(rp.Now(), fmt.Sprintf("cr.fallback.rank%d", rk.ID()), node+"/cr", 0)
+				defer func() { c.EndSpan(rp.Now(), span) }()
+			}
 			var src blcr.Source
 			if r.Target == Ext3 {
 				f, err := r.C.Node(node).FS.Open(rp, r.files[rk.ID()])

@@ -7,6 +7,7 @@ import (
 
 	"ibmig/internal/core"
 	"ibmig/internal/npb"
+	"ibmig/internal/obs"
 	"ibmig/internal/sim"
 )
 
@@ -31,6 +32,13 @@ var goldenScale = Scale{Class: npb.ClassS, Ranks: 16, PPN: 2, Seed: 7}
 
 // goldenRun performs the pinned scenario and returns the trace fingerprint.
 func goldenRun() (records int, hash uint64, totalNS int64, moved int64) {
+	records, hash, totalNS, moved, _ = goldenRunWith(false)
+	return
+}
+
+// goldenRunWith optionally attaches an observability collector to the engine
+// (TestGoldenTraceObsEnabled uses it to prove the collector is passive).
+func goldenRunWith(enableObs bool) (records int, hash uint64, totalNS int64, moved int64, col *obs.Collector) {
 	const fnvOffset = 14695981039346656037
 	const fnvPrime = 1099511628211
 	hashStr := func(h uint64, s string) uint64 {
@@ -43,16 +51,20 @@ func goldenRun() (records int, hash uint64, totalNS int64, moved int64) {
 	s := newSession(npb.LU, sc, sc.Ranks, sc.PPN, 1, 0, core.Options{})
 	rec := &sim.Recorder{}
 	s.e.SetTracer(rec)
+	if enableObs {
+		col = obs.Enable(s.e)
+	}
 	s.drive(func(p *sim.Proc) {
 		p.Sleep(s.triggerAt())
 		s.fw.TriggerMigration(p, s.midNode()).Wait(p)
 	})
+	col.Finish(s.e.Now())
 	h := uint64(fnvOffset)
 	for _, r := range rec.Records {
 		h = hashStr(h, fmt.Sprintf("%d|%s|%s|%s\n", int64(r.T), r.Kind, r.Who, r.Detail))
 	}
 	rep := s.fw.Reports[len(s.fw.Reports)-1]
-	return len(rec.Records), h, int64(rep.Total()), rep.BytesMoved
+	return len(rec.Records), h, int64(rep.Total()), rep.BytesMoved, col
 }
 
 // TestGoldenTraceUnchanged asserts that the full event trace of a migration

@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"ibmig/internal/core"
+	"ibmig/internal/npb"
+	"ibmig/internal/obs"
+	"ibmig/internal/sim"
+)
+
+// RunMigrationObserved is RunMigration with an observability collector
+// attached to the session's engine: spans, metrics and device-utilization
+// tracks are gathered while the virtual timeline stays bit-identical to the
+// unobserved run (the collector is passive — it only reads the clock).
+// The returned collector is finished (open spans closed, usage tracks
+// integrated to the final time) and ready for export.
+func RunMigrationObserved(k npb.Kernel, sc Scale, opts core.Options, toCompletion bool) (MigrationOutcome, *obs.Collector) {
+	s := newSession(k, sc, sc.Ranks, sc.PPN, 1, 0, opts)
+	col := obs.Enable(s.e)
+	var out MigrationOutcome
+	out.Workload = s.w
+	s.drive(func(p *sim.Proc) {
+		start := p.Now()
+		p.Sleep(s.triggerAt())
+		s.fw.TriggerMigration(p, s.midNode()).Wait(p)
+		if toCompletion {
+			s.fw.W.WaitDone(p)
+			out.AppDuration = p.Now().Sub(start)
+		}
+	})
+	if len(s.fw.Reports) > 0 {
+		out.Report = s.fw.Reports[len(s.fw.Reports)-1]
+	}
+	out.Events = s.e.Events()
+	col.Finish(s.e.Now())
+	return out, col
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ibmig/internal/gige"
+	"ibmig/internal/obs"
 	"ibmig/internal/sim"
 )
 
@@ -43,7 +44,8 @@ type Event struct {
 	Payload   any
 	SrcClient string
 	SrcNode   string
-	Seq       uint64 // backplane-global publish sequence number
+	Seq       uint64   // backplane-global publish sequence number
+	PubAt     sim.Time // virtual publish time, stamped by Publish
 }
 
 func (ev Event) String() string {
@@ -316,6 +318,11 @@ func (c *Client) deliver(ev Event) {
 	for _, s := range c.subs {
 		if (s.Namespace == "" || s.Namespace == ev.Namespace) && (s.Name == "" || s.Name == ev.Name) {
 			c.bp.Delivered++
+			if oc := obs.Get(c.bp.E); oc != nil {
+				oc.Add("ftb.delivered", 1)
+				oc.Hist("ftb.delivery_us", obs.LatencyBucketsUS).
+					Observe(float64(c.bp.E.Now().Sub(ev.PubAt)) / 1e3)
+			}
 			s.q.TrySend(ev)
 		}
 	}
@@ -332,7 +339,11 @@ func (c *Client) Publish(p *sim.Proc, ev Event) {
 	ev.SrcNode = c.agent.node
 	c.bp.nextSeq++
 	ev.Seq = c.bp.nextSeq
+	ev.PubAt = c.bp.E.Now()
 	c.bp.Published++
+	if oc := obs.Get(c.bp.E); oc != nil {
+		oc.Add("ftb.published", 1)
+	}
 	p.Sleep(clientHop)
 	c.bp.E.Trace("ftb.publish", c.name, ev.String())
 	if c.bp.filter != nil {

@@ -16,9 +16,11 @@ package ib
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"ibmig/internal/calib"
 	"ibmig/internal/mem"
+	"ibmig/internal/obs"
 	"ibmig/internal/payload"
 	"ibmig/internal/sim"
 )
@@ -365,7 +367,33 @@ func (q *QP) RecvLen() int { return q.recvQ.Len() }
 // round trip; the responder's egress link is occupied for the payload
 // serialization, modelling the one-sided, remote-CPU-free semantics of
 // InfiniBand RDMA Read that the paper's migration strategy exploits.
+//
+// With observability enabled the read is wrapped in a per-chunk span on the
+// requesting HCA's track and its latency lands in the ib.rdma_read_us
+// histogram; disabled, the extra cost is one nil check.
 func (q *QP) RDMARead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, error) {
+	if c := obs.Get(q.hca.f.E); c != nil {
+		start := p.Now()
+		span := c.StartSpan(start, "rdma.read", q.hca.node+"/hca", 0)
+		c.SpanAttr(span, "from", rk.Node)
+		c.SpanAttr(span, "bytes", strconv.FormatInt(n, 10))
+		data, err := q.rdmaRead(p, rk, off, n)
+		end := p.Now()
+		if err != nil {
+			c.SpanAttr(span, "error", err.Error())
+			c.Add("ib.rdma_read_errors", 1)
+		} else {
+			c.Add("ib.rdma_reads", 1)
+			c.Add("ib.rdma_read_bytes", n)
+			c.Hist("ib.rdma_read_us", obs.LatencyBucketsUS).Observe(float64(end.Sub(start)) / 1e3)
+		}
+		c.EndSpan(end, span)
+		return data, err
+	}
+	return q.rdmaRead(p, rk, off, n)
+}
+
+func (q *QP) rdmaRead(p *sim.Proc, rk RemoteKey, off, n int64) (payload.Buffer, error) {
 	if err := q.err(); err != nil {
 		return payload.Buffer{}, err
 	}

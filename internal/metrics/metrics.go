@@ -124,7 +124,11 @@ func Table(headers []string, rows [][]string) string {
 			if i > 0 {
 				row.WriteString("  ")
 			}
-			fmt.Fprintf(&row, "%-*s", width[i], cell)
+			w := len(cell)
+			if i < len(width) {
+				w = width[i]
+			}
+			fmt.Fprintf(&row, "%-*s", w, cell)
 		}
 		b.WriteString(strings.TrimRight(row.String(), " "))
 		b.WriteByte('\n')

@@ -71,3 +71,65 @@ func TestFormatHelpers(t *testing.T) {
 		t.Fatal("MB formatting")
 	}
 }
+
+func TestReportExtraDeterministicOrder(t *testing.T) {
+	r := NewReport("m")
+	r.Add(PhaseStall, time.Millisecond)
+	r.Extra["retries"] = 2
+	r.Extra["aborts"] = 1
+	r.Extra["chunks"] = 41
+	s := r.String()
+	// Extra counters render sorted by key, so the report line is stable
+	// across runs regardless of map iteration order.
+	want := "aborts=1 | chunks=41 | retries=2"
+	if !strings.Contains(s, want) {
+		t.Fatalf("extras not in sorted order: %s", s)
+	}
+	for i := 0; i < 20; i++ {
+		if r.String() != s {
+			t.Fatal("report string unstable across calls")
+		}
+	}
+}
+
+func TestTableGolden(t *testing.T) {
+	got := Table(
+		[]string{"app", "migration", "CR"},
+		[][]string{
+			{"LU.C.64", "170.4", "1363.2"},
+			{"BT.C.64", "308.8", "2470.4"},
+		},
+	)
+	want := "" +
+		"app      migration  CR\n" +
+		"-------  ---------  ------\n" +
+		"LU.C.64  170.4      1363.2\n" +
+		"BT.C.64  308.8      2470.4\n"
+	if got != want {
+		t.Fatalf("table format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows wider than the header must not panic or misalign the rule.
+	out := Table([]string{"a"}, [][]string{{"1", "overflow"}})
+	if !strings.Contains(out, "overflow") {
+		t.Fatalf("wide cell dropped:\n%s", out)
+	}
+}
+
+func TestDataPlaneDelta(t *testing.T) {
+	before := DataPlane{RegionWrites: 10, LiveExtents: 5, ExtentSplits: 1, ExtentMerges: 0, MaterializedBytes: 100}
+	after := DataPlane{RegionWrites: 25, LiveExtents: 3, ExtentSplits: 4, ExtentMerges: 2, MaterializedBytes: 300}
+	d := after.Delta(before)
+	if d.RegionWrites != 15 || d.ExtentSplits != 3 || d.ExtentMerges != 2 || d.MaterializedBytes != 200 {
+		t.Fatalf("delta %+v", d)
+	}
+	// LiveExtents is a level: its delta may legitimately be negative.
+	if d.LiveExtents != -2 {
+		t.Fatalf("live-extents delta %d, want -2", d.LiveExtents)
+	}
+	if !strings.Contains(d.String(), "15 region writes") {
+		t.Fatalf("string %s", d.String())
+	}
+}

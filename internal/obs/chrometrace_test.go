@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTestCollector makes a collector with overlapping sibling spans on one
+// actor (forcing the lane fan-out), a second actor, and a usage track.
+func buildTestCollector() *Collector {
+	c := New()
+	root := c.StartSpan(1000, "migration#1 n0->n1", "jm", 0)
+	ph := c.StartSpan(1000, "phase2.migrate", "jm", root)
+	// Two concurrent chunk pulls on the same HCA actor: they overlap without
+	// nesting, so the exporter must fan them out across lanes.
+	a := c.StartSpan(2000, "rdma.read", "n1/hca", ph)
+	c.SpanAttr(a, "bytes", "1048576")
+	b := c.StartSpan(2500, "rdma.read", "n1/hca", ph)
+	c.EndSpan(3500, a)
+	c.EndSpan(4000, b)
+	c.EndSpan(5000, ph)
+	c.EndSpan(6000, root)
+	c.Usage(1000, "ib.tx.n0", 1, 1)
+	c.Usage(4000, "ib.tx.n0", 0, 1)
+	c.Add("ib.rdma_reads", 2)
+	c.Finish(6000)
+	return c
+}
+
+func TestWriteChromeTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, buildTestCollector()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exporter produced an invalid trace: %v\n%s", err, out)
+	}
+	// Overlapping siblings got a second lane on the same actor.
+	if !strings.Contains(out, `"n1/hca#2"`) {
+		t.Fatalf("missing overflow lane n1/hca#2:\n%s", out)
+	}
+	// Per-node process tracks and the devices counter process exist.
+	for _, want := range []string{`"jm"`, `"n1"`, `"devices"`, `"ib.tx.n0"`, `"process_name"`, `"thread_name"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s:\n%s", want, out)
+		}
+	}
+	// Span attrs survive as args.
+	if !strings.Contains(out, `"bytes":"1048576"`) {
+		t.Fatalf("span attr lost:\n%s", out)
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	if err := WriteChromeTrace(&b1, buildTestCollector()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b2, buildTestCollector()); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("export is not deterministic across identical collectors")
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil-collector trace invalid: %v", err)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"invalid JSON":    `{`,
+		"no traceEvents":  `{}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`,
+		"backwards ts":    `{"traceEvents":[{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},{"name":"a","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+		"unmatched end":   `{"traceEvents":[{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}]}`,
+		"mismatched pair": `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"b","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"unclosed span":   `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"p","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},` +
+		`{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},` +
+		`{"name":"c","ph":"C","ts":1,"pid":2,"tid":0,"args":{"used":1}}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, buildTestCollector()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"spans:", "migration#1 n0->n1", "phase2.migrate", "counters:", "ib.rdma_reads", "device utilization:", "ib.tx.n0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil summary: %q", buf.String())
+	}
+}
+
+func TestTopTracks(t *testing.T) {
+	c := New()
+	c.Usage(0, "ib.tx.n0", 1, 4)
+	c.Usage(0, "ib.tx.n1", 3, 4)
+	c.Usage(0, "disk.n0", 1, 1)
+	c.Finish(10)
+	got := c.TopTracks("ib.tx.")
+	if len(got) != 2 || got[0] != "ib.tx.n1" || got[1] != "ib.tx.n0" {
+		t.Fatalf("TopTracks = %v", got)
+	}
+	if (*Collector)(nil).TopTracks("x") != nil {
+		t.Fatal("nil TopTracks")
+	}
+}

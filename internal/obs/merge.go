@@ -1,0 +1,52 @@
+package obs
+
+// Merge combines per-engine collectors into one, deterministically: slots
+// are folded in index order, so the same inputs in the same order always
+// produce the same result regardless of how many goroutines produced them
+// (the exp.RunParallel contract). Nil slots are skipped — a slot whose run
+// was skipped contributes nothing.
+//
+// Spans are concatenated with parent ids re-based into the merged space;
+// counters sum; gauges take the last slot's value; histograms with the same
+// name merge bucket-wise (they share the creation-site bucket ladder);
+// utilization tracks with the same name fold their aggregates.
+func Merge(slots ...*Collector) *Collector {
+	m := New()
+	for _, c := range slots {
+		if c == nil {
+			continue
+		}
+		base := SpanID(len(m.spans))
+		for _, s := range c.spans {
+			if s.Parent != 0 {
+				s.Parent += base
+			}
+			m.spans = append(m.spans, s)
+		}
+		for _, name := range c.CounterNames() {
+			m.counters[name] += c.counters[name]
+		}
+		for _, name := range c.GaugeNames() {
+			m.gauges[name] = c.gauges[name]
+		}
+		for _, name := range c.HistNames() {
+			src := c.hists[name]
+			dst := m.hists[name]
+			if dst == nil {
+				dst = newHistogram(src.Bounds)
+				m.hists[name] = dst
+			}
+			dst.merge(src)
+		}
+		for _, name := range c.TrackNames() {
+			src := c.tracks[name]
+			dst := m.tracks[name]
+			if dst == nil {
+				dst = newUsageTrack(src.Name, src.Capacity)
+				m.tracks[name] = dst
+			}
+			dst.merge(src)
+		}
+	}
+	return m
+}

@@ -129,6 +129,16 @@ type Engine struct {
 	tracer  Tracer
 	failure error // first process panic, aborts the run
 	stopped bool
+
+	obsData any              // opaque per-engine observability state (internal/obs)
+	resObs  ResourceObserver // resource usage hook; nil when observability is off
+}
+
+// ResourceObserver receives a callback on every Resource usage transition
+// (grant or release). Implementations must be pure host-side bookkeeping —
+// no engine calls, no blocking — so that observing a run cannot change it.
+type ResourceObserver interface {
+	ResourceUsage(t Time, name string, used, capacity int64)
 }
 
 // NewEngine returns an engine with the given RNG seed. The seed fully
@@ -169,6 +179,18 @@ func (e *Engine) SetTracer(t Tracer) {
 func (e *Engine) Trace(kind, who, detail string) {
 	e.tracer.Trace(e.now, kind, who, detail)
 }
+
+// SetObsData attaches opaque observability state to the engine (see
+// internal/obs.Enable). Like the engine itself it is engine-local: one
+// collector per engine under exp.RunParallel.
+func (e *Engine) SetObsData(v any) { e.obsData = v }
+
+// ObsData returns the state attached with SetObsData, or nil.
+func (e *Engine) ObsData() any { return e.obsData }
+
+// SetResourceObserver installs the resource usage hook. Pass nil to disable
+// (the default); the disabled path is a single nil check per transition.
+func (e *Engine) SetResourceObserver(o ResourceObserver) { e.resObs = o }
 
 // allocEvent takes an event from the freelist, or allocates one.
 func (e *Engine) allocEvent() *event {
@@ -501,5 +523,10 @@ func (e *Engine) Shutdown() {
 			victim.wake <- wakeKill
 			<-e.parked
 		}
+	}
+	// Flush buffered trace sinks (sim.Writer and friends) so records are not
+	// lost when the process exits right after Shutdown.
+	if f, ok := e.tracer.(interface{ Flush() error }); ok {
+		_ = f.Flush()
 	}
 }

@@ -35,6 +35,16 @@ func (r *Resource) InUse() int64 { return r.used }
 // Waiting returns the number of queued acquirers.
 func (r *Resource) Waiting() int { return r.waitq.len() }
 
+// noteUsage reports a usage transition to the engine's ResourceObserver, if
+// any. The call is pure bookkeeping on the observer side, so it cannot
+// change simulation results; when observability is off it costs one nil
+// check.
+func (r *Resource) noteUsage() {
+	if o := r.e.resObs; o != nil {
+		o.ResourceUsage(r.e.now, r.name, r.used, r.capacity)
+	}
+}
+
 // Acquire blocks p until n units are available and p is at the head of the
 // wait queue. n must be in (0, capacity].
 //
@@ -47,6 +57,7 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	}
 	if r.waitq.len() == 0 && r.used+n <= r.capacity {
 		r.used += n
+		r.noteUsage()
 		return
 	}
 	r.waitq.push(resWaiter{waiter{p, p.token}, n})
@@ -55,6 +66,7 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 		if r.waitq.len() > 0 && r.waitq.at(0).w.p == p && r.used+n <= r.capacity {
 			r.waitq.pop()
 			r.used += n
+			r.noteUsage()
 			r.admit()
 			return
 		}
@@ -78,6 +90,7 @@ func (r *Resource) FlowAcquireStart(p *Proc, n int64) bool {
 	}
 	if r.waitq.len() == 0 && r.used+n <= r.capacity {
 		r.used += n
+		r.noteUsage()
 		return true
 	}
 	r.waitq.push(resWaiter{waiter{p, p.token}, n})
@@ -93,6 +106,7 @@ func (r *Resource) FlowAcquireRetry(p *Proc, n int64) bool {
 	if r.waitq.len() > 0 && r.waitq.at(0).w.p == p && r.used+n <= r.capacity {
 		r.waitq.pop()
 		r.used += n
+		r.noteUsage()
 		r.admit()
 		return true
 	}
@@ -112,6 +126,7 @@ func (r *Resource) Release(n int64) {
 		panic("sim: invalid release amount on " + r.name)
 	}
 	r.used -= n
+	r.noteUsage()
 	r.admit()
 }
 

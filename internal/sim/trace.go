@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 )
@@ -29,6 +30,12 @@ func (r Record) String() string {
 
 // Recorder is a Tracer that captures all records in memory, for tests and
 // determinism checks.
+//
+// Like every Tracer (and like internal/obs collectors), a Recorder is
+// engine-local state and is not goroutine-safe: engines running concurrently
+// under exp.RunParallel must each own their own Recorder. Sharing one
+// Recorder across engines is a data race (the race detector catches it; see
+// TestRecorderPerEngineUnderParallelism in internal/exp).
 type Recorder struct {
 	Records []Record
 }
@@ -45,11 +52,17 @@ func (r *Recorder) Dump(w io.Writer) {
 	}
 }
 
-// Writer is a Tracer that streams records to an io.Writer as they occur.
+// Writer is a Tracer that streams records to an io.Writer. Output is
+// buffered (a full -trace run emits hundreds of thousands of records; an
+// unbuffered write per record made such runs pathologically slow): callers
+// must Flush when done. Engine.Shutdown flushes the installed tracer
+// automatically.
 type Writer struct {
 	W io.Writer
 	// Filter, if non-nil, drops records for which it returns false.
 	Filter func(kind string) bool
+
+	bw *bufio.Writer
 }
 
 // Trace implements Tracer.
@@ -57,5 +70,16 @@ func (t *Writer) Trace(tm Time, kind, who, detail string) {
 	if t.Filter != nil && !t.Filter(kind) {
 		return
 	}
-	fmt.Fprintln(t.W, Record{tm, kind, who, detail})
+	if t.bw == nil {
+		t.bw = bufio.NewWriterSize(t.W, 64<<10)
+	}
+	fmt.Fprintln(t.bw, Record{tm, kind, who, detail})
+}
+
+// Flush writes out any buffered records.
+func (t *Writer) Flush() error {
+	if t.bw == nil {
+		return nil
+	}
+	return t.bw.Flush()
 }

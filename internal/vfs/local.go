@@ -3,8 +3,10 @@ package vfs
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"ibmig/internal/calib"
+	"ibmig/internal/obs"
 	"ibmig/internal/payload"
 	"ibmig/internal/sim"
 )
@@ -151,6 +153,20 @@ func memcpyTime(n int64) sim.Duration {
 // semantics). Once the backing device has failed the file system is
 // effectively remounted read-only and writes return ErrDiskFailed.
 func (f *File) WriteAt(p *sim.Proc, off int64, b payload.Buffer) error {
+	if c := obs.Get(f.fs.E); c != nil {
+		start := p.Now()
+		span := c.StartSpan(start, "vfs.write", f.fs.node+"/fs", 0)
+		c.SpanAttr(span, "bytes", strconv.FormatInt(b.Size(), 10))
+		err := f.writeAt(p, off, b)
+		end := p.Now()
+		c.Hist("vfs.write_us", obs.LatencyBucketsUS).Observe(float64(end.Sub(start)) / 1e3)
+		c.EndSpan(end, span)
+		return err
+	}
+	return f.writeAt(p, off, b)
+}
+
+func (f *File) writeAt(p *sim.Proc, off int64, b payload.Buffer) error {
 	if f.fs.disk.failed {
 		return ErrDiskFailed
 	}
@@ -202,6 +218,19 @@ func (f *File) ReadAt(p *sim.Proc, off, n int64) payload.Buffer {
 
 // Sync writes the file's dirty data to the device and commits the journal.
 func (f *File) Sync(p *sim.Proc) error {
+	if c := obs.Get(f.fs.E); c != nil {
+		start := p.Now()
+		span := c.StartSpan(start, "vfs.sync", f.fs.node+"/fs", 0)
+		err := f.sync(p)
+		end := p.Now()
+		c.Hist("vfs.sync_us", obs.LatencyBucketsUS).Observe(float64(end.Sub(start)) / 1e3)
+		c.EndSpan(end, span)
+		return err
+	}
+	return f.sync(p)
+}
+
+func (f *File) sync(p *sim.Proc) error {
 	if f.dirtyB > 0 {
 		n := f.dirtyB
 		f.dirtyB = 0
