@@ -1,0 +1,114 @@
+// Command protocheck is the deterministic simulation-testing driver: it runs
+// N seeded random migration scenarios (random workload × faults × schedule
+// perturbation), evaluates every registered protocol invariant against each
+// run, shrinks any failure to a minimal spec, and emits a summary plus an
+// optional JSON artifact.
+//
+// Examples:
+//
+//	protocheck -n 500 -seed 1 -parallel 0          # the nightly CI sweep
+//	protocheck -spec "seed=42 f=node-crash:tgt@2"  # replay one scenario
+//	protocheck -n 100 -shrink=false                # sweep without shrinking
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ibmig/internal/check"
+	"ibmig/internal/exp"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100, "number of seeded scenarios to run")
+		seed     = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
+		spec     = flag.String("spec", "", "run this one scenario spec instead of a sweep")
+		jsonOut  = flag.String("json", "", "write the JSON artifact to this file")
+		shrink   = flag.Bool("shrink", true, "shrink failing scenarios to minimal repro specs")
+		parallel = flag.Int("parallel", 0, "concurrent engines (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "print per-scenario progress")
+		invs     = flag.Bool("invariants", false, "list registered invariants and exit")
+	)
+	flag.Parse()
+
+	if *invs {
+		for _, inv := range check.Registry() {
+			fmt.Printf("%-20s %s\n", inv.Name, inv.Desc)
+		}
+		return
+	}
+
+	exp.SetParallelism(*parallel)
+
+	if *spec != "" {
+		runOne(*spec, *jsonOut, *shrink)
+		return
+	}
+
+	var progress func(int)
+	if *verbose {
+		progress = func(done int) {
+			if done%50 == 0 || done == *n {
+				fmt.Fprintf(os.Stderr, "protocheck: %d/%d\n", done, *n)
+			}
+		}
+	}
+	sum := check.Sweep(*n, *seed, progress)
+	sum.Write(os.Stdout)
+	for _, r := range sum.Failures {
+		fmt.Printf("\nFAIL %s\n", r.Spec)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if *shrink {
+			min := check.Shrink(r.Scenario, check.Fails)
+			fmt.Printf("  repro: protocheck -spec %q\n", min)
+		}
+	}
+	writeJSON(*jsonOut, sum)
+	if len(sum.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(spec, jsonOut string, shrink bool) {
+	sc, err := check.Parse(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protocheck:", err)
+		os.Exit(2)
+	}
+	res := check.RunScenario(sc)
+	fmt.Printf("scenario: %s\n", res.Spec)
+	fmt.Printf("  attempts=%d completed=%d aborted=%d retries=%d fallbacks=%d job_lost=%v app_done=%v\n",
+		res.Attempts, res.Completed, res.Aborted, res.Retries, res.Fallbacks, res.JobLost, res.AppDone)
+	writeJSON(jsonOut, res)
+	if !res.Failed() {
+		fmt.Println("  all invariants hold")
+		return
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	if shrink {
+		min := check.Shrink(sc, check.Fails)
+		fmt.Printf("  repro: protocheck -spec %q\n", min)
+	}
+	os.Exit(1)
+}
+
+func writeJSON(path string, v any) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protocheck: write artifact:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,172 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"ibmig/internal/cluster"
+	"ibmig/internal/core"
+	"ibmig/internal/cr"
+	"ibmig/internal/fault"
+	"ibmig/internal/npb"
+	"ibmig/internal/obs"
+	"ibmig/internal/sim"
+)
+
+// checkDeadline is the per-phase watchdog deadline for DST runs: far above
+// any healthy ClassS/W phase (milliseconds to ~1 s), far below the default
+// 2 min so dead-node stalls resolve quickly across a 500-scenario sweep.
+const checkDeadline = 10 * time.Second
+
+// Result is the outcome of one scenario run — everything cmd/protocheck
+// reports and the JSON artifact records.
+type Result struct {
+	Spec       string      `json:"spec"`
+	Scenario   Scenario    `json:"scenario"`
+	Violations []Violation `json:"violations,omitempty"`
+
+	Attempts  int    `json:"attempts"`
+	Completed int    `json:"completed"`
+	Aborted   int    `json:"aborted"`
+	Retries   int    `json:"retries"`
+	Fallbacks int    `json:"fallbacks"`
+	JobLost   bool   `json:"job_lost,omitempty"`
+	AppDone   bool   `json:"app_done"`
+	Faults    int    `json:"faults"`
+	Events    uint64 `json:"events"`
+	SimNS     int64  `json:"sim_ns"`
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// victim resolves a fault role to a concrete node name for this cluster.
+func victim(role Role, c *cluster.Cluster, src string) string {
+	switch role {
+	case RoleSource:
+		return src
+	case RoleTarget:
+		return c.Spares[0].Name
+	case RoleSpare2:
+		return c.Spares[1].Name
+	case RoleBystander:
+		for _, n := range c.Compute {
+			if n.Name != src {
+				return n.Name
+			}
+		}
+	}
+	return src
+}
+
+// RunScenario executes one scenario to completion and evaluates every
+// registered invariant against the run. It never panics: a panic anywhere in
+// the simulation is itself reported as a "no-panic" violation.
+func RunScenario(sc Scenario) (res *Result) {
+	res = &Result{Spec: sc.String(), Scenario: sc, Faults: len(sc.Faults)}
+	pr := &probe{sc: sc}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: "no-panic",
+				Detail:    fmt.Sprint(r),
+				T:         pr.endT,
+			})
+		}
+	}()
+	if err := sc.Valid(); err != nil {
+		res.Violations = append(res.Violations, Violation{Invariant: "spec-valid", Detail: err.Error()})
+		return res
+	}
+
+	e := sim.NewEngine(sc.Seed)
+	e.SetTracer(&pr.clock)
+	if sc.Perturb != 0 {
+		e.EnablePerturbation(sc.Perturb)
+	}
+	pr.col = obs.New()
+	e.SetObsData(pr.col)
+	pr.c = cluster.New(e, cluster.Config{
+		ComputeNodes: sc.Ranks / sc.PPN,
+		SpareNodes:   sc.Spares,
+		PVFSServers:  2, // the CR-fallback image must survive node deaths
+	})
+	w := npb.New(sc.Kernel, sc.Class, sc.Ranks)
+	npbRes := npb.NewResult(sc.Ranks)
+	pr.fw = core.Launch(pr.c, w, sc.PPN, npbRes, core.Options{
+		Hash:          true,
+		PhaseDeadline: checkDeadline,
+	})
+	pr.jm = pr.fw.JobManager()
+	pr.fw.OnPhase(func(p *sim.Proc, seq, phase int) {
+		pr.phases = append(pr.phases, phaseEntry{T: p.Now(), Seq: seq, Phase: phase})
+	})
+
+	src := pr.c.Compute[len(pr.c.Compute)/2].Name
+	pr.inj = fault.NewInjector(pr.c)
+	pr.inj.Bind(pr.fw)
+	for _, f := range sc.Faults {
+		spec := fault.Spec{Kind: f.Kind}
+		switch f.Kind {
+		case fault.FTBDrop:
+			spec.Event = f.Event
+		case fault.FTBDelay:
+			spec.Event = f.Event
+			spec.Delay = f.delay()
+		default:
+			spec.Node = victim(f.Role, pr.c, src)
+		}
+		pr.inj.AtPhase(0, f.Phase, spec)
+	}
+
+	e.Spawn("check.ctl", func(p *sim.Proc) {
+		pr.fw.W.WaitReady(p)
+		if sc.Ckpt {
+			_, pr.ckptErr = pr.fw.Checkpoint(p, cr.PVFS)
+		}
+		p.Sleep(w.EstimatedRuntime() / 100 * sim.Duration(sc.TrigPct))
+		pr.fw.TriggerMigration(p, src).Wait(p)
+		pr.trigFired = true
+		if !pr.jm.JobLost {
+			pr.fw.W.WaitDone(p)
+			pr.appDone = true
+		}
+		pr.ctlDone = true
+		e.Stop()
+	})
+	pr.runErr = e.Run()
+	pr.endT = e.Now()
+	e.Shutdown()
+	pr.col.CloseOpen(pr.endT)
+
+	for _, inv := range Registry() {
+		res.Violations = append(res.Violations, inv.Check(pr)...)
+	}
+	// Attach span context: what the protocol was doing at each violation.
+	for i := range res.Violations {
+		v := &res.Violations[i]
+		if spans := pr.col.ActiveAt(v.T); len(spans) > 0 {
+			if len(spans) > 6 {
+				spans = spans[:6]
+			}
+			v.Spans = spans
+		}
+	}
+
+	for _, a := range pr.fw.Attempts {
+		if a.Completed {
+			res.Completed++
+		}
+		if a.Aborted {
+			res.Aborted++
+		}
+	}
+	res.Attempts = len(pr.fw.Attempts)
+	res.Retries = pr.jm.SpareRetries
+	res.Fallbacks = pr.jm.CRFallbacks
+	res.JobLost = pr.jm.JobLost
+	res.AppDone = pr.appDone
+	res.Events = e.Events()
+	res.SimNS = int64(pr.endT)
+	return res
+}

@@ -1,0 +1,102 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"ibmig/internal/exp"
+)
+
+// Summary aggregates a sweep of N seeded scenarios — the JSON artifact
+// cmd/protocheck emits for the CI job.
+type Summary struct {
+	N          int            `json:"n"`
+	Seed       int64          `json:"seed"`
+	Checked    int            `json:"checked"`
+	Failures   []*Result      `json:"failures,omitempty"`
+	Invariants map[string]int `json:"violations_by_invariant,omitempty"`
+
+	// Coverage tallies: how much of the outcome space the sweep exercised.
+	Completed int `json:"migrations_completed"`
+	Aborted   int `json:"migrations_aborted"`
+	Retries   int `json:"spare_retries"`
+	Fallbacks int `json:"cr_fallbacks"`
+	JobsLost  int `json:"jobs_lost"`
+	Faulted   int `json:"scenarios_with_faults"`
+	Perturbed int `json:"scenarios_perturbed"`
+
+	TotalEvents uint64 `json:"total_events"`
+}
+
+// Sweep runs scenarios Generate(seed)..Generate(seed+n-1), fanning engines
+// across CPUs via exp.RunParallel (one engine per goroutine; results land in
+// pre-indexed slots, so the summary is identical at any parallelism).
+func Sweep(n int, seed int64, progress func(done int)) *Summary {
+	results := make([]*Result, n)
+	var done atomic.Int64
+	tasks := make([]func(), n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() {
+			results[i] = RunScenario(Generate(seed + int64(i)))
+			if progress != nil {
+				progress(int(done.Add(1)))
+			}
+		}
+	}
+	exp.RunParallel(tasks...)
+	return summarize(results, n, seed)
+}
+
+func summarize(results []*Result, n int, seed int64) *Summary {
+	s := &Summary{N: n, Seed: seed, Invariants: map[string]int{}}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		s.Checked++
+		s.Completed += r.Completed
+		s.Aborted += r.Aborted
+		s.Retries += r.Retries
+		s.Fallbacks += r.Fallbacks
+		s.TotalEvents += r.Events
+		if r.JobLost {
+			s.JobsLost++
+		}
+		if r.Faults > 0 {
+			s.Faulted++
+		}
+		if r.Scenario.Perturb != 0 {
+			s.Perturbed++
+		}
+		if r.Failed() {
+			s.Failures = append(s.Failures, r)
+			for _, v := range r.Violations {
+				s.Invariants[v.Invariant]++
+			}
+		}
+	}
+	return s
+}
+
+// Write renders the human-readable sweep summary.
+func (s *Summary) Write(w io.Writer) {
+	fmt.Fprintf(w, "protocheck: %d scenarios (seed %d): %d checked, %d failed\n",
+		s.N, s.Seed, s.Checked, len(s.Failures))
+	fmt.Fprintf(w, "  outcomes: %d completed, %d aborted, %d spare retries, %d CR fallbacks, %d jobs lost\n",
+		s.Completed, s.Aborted, s.Retries, s.Fallbacks, s.JobsLost)
+	fmt.Fprintf(w, "  coverage: %d/%d scenarios faulted, %d/%d perturbed, %d kernel events\n",
+		s.Faulted, s.Checked, s.Perturbed, s.Checked, s.TotalEvents)
+	if len(s.Invariants) > 0 {
+		names := make([]string, 0, len(s.Invariants))
+		for name := range s.Invariants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "  violated: %-20s x%d\n", name, s.Invariants[name])
+		}
+	}
+}

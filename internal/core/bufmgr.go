@@ -159,6 +159,12 @@ func (s *srcBufMgr) notePool(t sim.Time) {
 	s.oc.Usage(t, s.poolName, s.poolChunks-int64(s.free.Len()), s.poolChunks)
 }
 
+// outstanding reports how many pool chunks are currently checked out (not on
+// the free list). Zero once the target has released every chunk.
+func (s *srcBufMgr) outstanding() int64 {
+	return s.poolChunks - int64(s.free.Len())
+}
+
 // sink returns the aggregation sink for one rank's checkpoint stream.
 func (s *srcBufMgr) sink(rank int) *aggSink {
 	return &aggSink{mgr: s, rank: rank, cur: -1}

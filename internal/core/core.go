@@ -121,6 +121,11 @@ type Framework struct {
 	// Reports collects one phase report per completed migration.
 	Reports []*metrics.Report
 
+	// Attempts records one entry per migration attempt (by sequence number),
+	// including attempts that were aborted and retried — the probe surface the
+	// internal/check invariants are evaluated against.
+	Attempts []AttemptRecord
+
 	// lastVerified records whether the most recent migration's restored
 	// images were bit-identical to the checkpointed ones (Hash mode).
 	lastVerified bool
@@ -176,6 +181,51 @@ func (m *migrationState) endAttempt(c *obs.Collector, t sim.Time) {
 	c.EndSpan(t, m.span)
 }
 
+// AttemptRecord is the per-attempt protocol outcome the framework exposes for
+// invariant checking (internal/check): exactly one record is appended per
+// migration sequence number, when the attempt reaches a terminal state
+// (completed, aborted, or the job abandoned).
+type AttemptRecord struct {
+	Seq      int
+	Src, Dst string
+	Phase    int // last phase entered (1..4)
+
+	Aborted   bool // the attempt was torn down
+	Completed bool // the attempt finished Phase 4 (mutually exclusive with Aborted)
+
+	SrcVacated     bool // the source's processes left the node (post-PIIC)
+	RestartResends int  // lost-FTB_RESTART recoveries on this attempt
+
+	// PoolOutstanding is the number of aggregation-pool chunks not returned
+	// to the free list when the target confirmed complete receipt; a non-zero
+	// value on a completed attempt is a buffer leak. -1 means the attempt
+	// never reached that point (aborted mid-transfer).
+	PoolOutstanding int64
+}
+
+// recordAttempt appends m's terminal record once.
+func (fw *Framework) recordAttempt(m *migrationState, completed bool) {
+	if m.recorded {
+		return
+	}
+	m.recorded = true
+	fw.Attempts = append(fw.Attempts, AttemptRecord{
+		Seq:             m.seq,
+		Src:             m.src,
+		Dst:             m.dst,
+		Phase:           m.phase,
+		Aborted:         m.aborted,
+		Completed:       completed,
+		SrcVacated:      m.srcVacated,
+		RestartResends:  m.restartResends,
+		PoolOutstanding: m.poolOutstanding,
+	})
+}
+
+// LastVerified reports whether the most recent migration cycle's restored
+// images were checksum-verified against the originals (requires Options.Hash).
+func (fw *Framework) LastVerified() bool { return fw.lastVerified }
+
 // migrationState is the in-flight migration shared between JM and NLAs (the
 // in-process stand-in for state the real components keep per MPI job).
 type migrationState struct {
@@ -206,13 +256,15 @@ type migrationState struct {
 	phaseSpan obs.SpanID
 
 	// Recovery bookkeeping.
-	phase          int             // 1..4, last phase entered
-	aborted        bool            // this attempt was torn down
-	srcVacated     bool            // source procs removed (post-PIIC point)
-	restartSpawned bool            // target NLA saw FTB_RESTART
-	restartResends int             // lost-FTB_RESTART recoveries on this attempt
-	failedNode     string          // node blamed by a MIGRATE_FAILED report
-	excluded       map[string]bool // spares burned by earlier attempts of this trigger
+	phase           int             // 1..4, last phase entered
+	aborted         bool            // this attempt was torn down
+	recorded        bool            // terminal AttemptRecord appended
+	poolOutstanding int64           // agg-pool chunks unreturned at transfer end; -1 unknown
+	srcVacated      bool            // source procs removed (post-PIIC point)
+	restartSpawned  bool            // target NLA saw FTB_RESTART
+	restartResends  int             // lost-FTB_RESTART recoveries on this attempt
+	failedNode      string          // node blamed by a MIGRATE_FAILED report
+	excluded        map[string]bool // spares burned by earlier attempts of this trigger
 }
 
 // abortTeardown idempotently releases every resource of a failed attempt:

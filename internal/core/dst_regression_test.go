@@ -1,0 +1,70 @@
+// These regression scenarios come out of the protocheck DST harness: an
+// 800-scenario seeded sweep surfaced no invariant violations, so per the
+// harness's charter the three gnarliest recovery paths it exercised are pinned
+// here instead, each as its shrunk one-line spec. They run the full stack
+// (workload x faults x schedule perturbation) through internal/check and must
+// keep every protocol invariant as the recovery code evolves.
+//
+// The external test package breaks the cycle: internal/check imports core.
+package core_test
+
+import (
+	"testing"
+
+	"ibmig/internal/check"
+)
+
+// runSpec replays one scenario spec and requires every invariant to hold.
+func runSpec(t *testing.T, spec string) *check.Result {
+	t.Helper()
+	sc, err := check.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check.RunScenario(sc)
+	if res.Failed() {
+		t.Fatalf("spec %q violates invariants: %v", spec, res.Violations)
+	}
+	return res
+}
+
+// A target crash mid-transfer stacked with a dropped FTB_RESTART on the retry
+// attempt, under schedule perturbation: the abort/retry machinery and the
+// lost-restart resend path have to compose, and still do with the event order
+// shuffled.
+func TestRegressionRetryWithDroppedRestartUnderPerturbation(t *testing.T) {
+	res := runSpec(t, "seed=11 perturb=42 ckpt f=node-crash:tgt@2 f=ftb-drop:FTB_RESTART@3")
+	if res.Attempts != 2 || res.Retries != 1 {
+		t.Fatalf("attempts=%d retries=%d, want 2/1 (abort then spare retry)", res.Attempts, res.Retries)
+	}
+	if res.Completed != 1 || res.Aborted != 1 || !res.AppDone {
+		t.Fatalf("completed=%d aborted=%d appDone=%v, want 1/1/true", res.Completed, res.Aborted, res.AppDone)
+	}
+}
+
+// A source crash during the stall phase with no prior checkpoint: the CR
+// fallback is entered but has no image to restore, so the framework must
+// record the loss cleanly — one aborted attempt, no completion, and the
+// job-loss-legitimate invariant (a destructive fault was injected) satisfied.
+func TestRegressionUnprotectedSourceCrashLosesJobCleanly(t *testing.T) {
+	res := runSpec(t, "seed=9 f=node-crash:src@1")
+	if !res.JobLost || res.AppDone {
+		t.Fatalf("jobLost=%v appDone=%v, want true/false", res.JobLost, res.AppDone)
+	}
+	if res.Fallbacks != 1 || res.Completed != 0 || res.Aborted != 1 {
+		t.Fatalf("fallbacks=%d completed=%d aborted=%d, want 1/0/1", res.Fallbacks, res.Completed, res.Aborted)
+	}
+}
+
+// A dropped FTB_MIGRATE_PIIC after the source vacated: the processes are gone
+// from the source but the target never learns the image is complete, so the
+// only way out is the checkpoint fallback — job saved, migration aborted.
+func TestRegressionDroppedPIICForcesCRFallback(t *testing.T) {
+	res := runSpec(t, "seed=13 ckpt f=ftb-drop:FTB_MIGRATE_PIIC@2")
+	if res.Fallbacks != 1 || res.JobLost || !res.AppDone {
+		t.Fatalf("fallbacks=%d jobLost=%v appDone=%v, want 1/false/true", res.Fallbacks, res.JobLost, res.AppDone)
+	}
+	if res.Completed != 0 || res.Aborted != 1 {
+		t.Fatalf("completed=%d aborted=%d, want 0/1 (fallback, not a finished migration)", res.Completed, res.Aborted)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/cluster"
+	"ibmig/internal/fault"
+	"ibmig/internal/ftb"
+	"ibmig/internal/health"
+	"ibmig/internal/npb"
+	"ibmig/internal/sim"
+)
+
+// TestPredictionExactlyAtMigrationStart races the proactive path against a
+// manual trigger for the same node: a real monitor/predictor pipeline predicts
+// node02's failure at the same instant the operator requests its migration.
+// Exactly one migration may run; the duplicate request is queued behind it and
+// must be dropped harmlessly once node02 has been vacated, not start a second
+// cycle or wedge the job.
+func TestPredictionExactlyAtMigrationStart(t *testing.T) {
+	e, c, fw, res, w := launchFT(t)
+
+	// cpu-temp jumps from healthy straight past critical at 60 ms; the 10 ms
+	// poll turns that into one SENSOR_CRIT edge, one prediction, one
+	// proactive trigger — landing at the same sim instant as the manual one.
+	health.NewMonitor(e, c.FTB, "node02", 10*time.Millisecond, []*health.Sensor{
+		health.RampSensor("cpu-temp", 85, 95, 60, sim.Time(60*time.Millisecond), 10000),
+	})
+	pred := health.NewPredictor(e, c.FTB, "login", 3)
+	fw.AttachPredictor(pred.Predictions)
+
+	e.Spawn("test.ctl", func(p *sim.Proc) {
+		fw.W.WaitReady(p)
+		if d := sim.Time(70*time.Millisecond) - p.Now(); d > 0 {
+			p.Sleep(sim.Duration(d))
+		}
+		done := fw.TriggerMigration(p, "node02")
+		done.Wait(p)
+		fw.W.WaitDone(p)
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+
+	requireJobIntact(t, fw, res, w)
+	jm := fw.jm
+	if jm.MigrationsDone != 1 {
+		t.Fatalf("MigrationsDone = %d, want 1 (coincident triggers must not double-migrate)", jm.MigrationsDone)
+	}
+	if jm.FailedTriggers != 1 {
+		t.Fatalf("FailedTriggers = %d, want 1 (the duplicate must drain and drop)", jm.FailedTriggers)
+	}
+	if len(fw.Attempts) != 1 || !fw.Attempts[0].Completed {
+		t.Fatalf("attempts = %+v, want one completed attempt", fw.Attempts)
+	}
+	if got := len(fw.W.RanksOn("node02")); got != 0 {
+		t.Errorf("ranks on node02 = %d, want 0 (predicted node must be vacated)", got)
+	}
+}
+
+// TestSpareDegradesMidMigration has the health predictor flag spare02 while a
+// migration onto spare01 is already in Phase 1; spare01's HCA then dies in
+// Phase 2. The retry must pass over the freshly-warned spare02 and land on the
+// healthy spare03 (a warned spare is only a last resort).
+func TestSpareDegradesMidMigration(t *testing.T) {
+	e := sim.NewEngine(17)
+	c := cluster.New(e, cluster.Config{ComputeNodes: 4, SpareNodes: 3, PVFSServers: 2})
+	w := npb.New(npb.LU, npb.ClassS, 8)
+	res := npb.NewResult(w.Ranks)
+	fw := Launch(c, w, 2, res, Options{Hash: true, PhaseDeadline: 2 * time.Second})
+
+	inj := fault.NewInjector(c)
+	inj.Bind(fw)
+	inj.AtPhase(1, 2, fault.Spec{Kind: fault.HCAFail, Node: "spare01"})
+
+	predClient := c.FTB.Connect("login", "test-predictor")
+	warned := false
+	fw.OnPhase(func(p *sim.Proc, seq, phase int) {
+		if warned || phase != 1 {
+			return
+		}
+		warned = true
+		predClient.Publish(p, ftb.Event{
+			Namespace: health.NamespacePred,
+			Name:      health.EventFailurePredicted,
+			Severity:  "WARN",
+			Payload:   "spare02",
+		})
+	})
+
+	migrateOnce(t, e, fw, "node02", 30*time.Millisecond)
+	requireJobIntact(t, fw, res, w)
+
+	jm := fw.jm
+	if jm.SpareRetries != 1 || jm.MigrationsDone != 1 {
+		t.Fatalf("retries=%d done=%d, want 1/1", jm.SpareRetries, jm.MigrationsDone)
+	}
+	if len(fw.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2 (abort on spare01, retry)", len(fw.Attempts))
+	}
+	if a := fw.Attempts[0]; a.Dst != "spare01" || !a.Aborted {
+		t.Fatalf("first attempt %+v, want aborted attempt onto spare01", a)
+	}
+	if a := fw.Attempts[1]; a.Dst != "spare03" || !a.Completed {
+		t.Fatalf("retry %+v, want completed attempt onto spare03 (warned spare02 passed over)", a)
+	}
+	if got := len(fw.W.RanksOn("spare03")); got != 2 {
+		t.Errorf("ranks on spare03 = %d, want 2", got)
+	}
+	if st := fw.NLA("spare02").State(); st != StateSpare {
+		t.Errorf("spare02 NLA = %v, want MIGRATION_SPARE (degraded spare must stay unused)", st)
+	}
+}

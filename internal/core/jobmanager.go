@@ -187,6 +187,8 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 		report:     metrics.NewReport(fmt.Sprintf("migration#%d %s->%s", fw.migrationSeq, src, dst)),
 		phase:      1,
 		excluded:   make(map[string]bool),
+
+		poolOutstanding: -1,
 	}
 	m.watch = metrics.NewStopwatch(m.report, p.Now())
 	fw.current = m
@@ -429,7 +431,10 @@ func (jm *JobManager) startRetry(p *sim.Proc, prev *migrationState, dst string) 
 		watch:      prev.watch,
 		phase:      2,
 		excluded:   prev.excluded,
+
+		poolOutstanding: -1,
 	}
+	fw.recordAttempt(prev, false)
 	m.report.Label += fmt.Sprintf(" retry->%s", dst)
 	fw.current = m
 	if c := fw.obsC(); c != nil {
@@ -532,6 +537,7 @@ func (jm *JobManager) abandon(p *sim.Proc, m *migrationState, reason string) {
 		m.endAttempt(c, p.Now())
 	}
 	p.Trace("core.jm", fmt.Sprintf("migration #%d: job lost — %s", m.seq, reason))
+	jm.fw.recordAttempt(m, false)
 	jm.fw.Reports = append(jm.fw.Reports, m.report)
 	jm.fw.current = nil
 	m.finished.Fire()
@@ -541,6 +547,7 @@ func (jm *JobManager) abandon(p *sim.Proc, m *migrationState, reason string) {
 // finishCycle closes out a migration cycle (successful or recovered).
 func (jm *JobManager) finishCycle(p *sim.Proc, m *migrationState, completed bool) {
 	fw := jm.fw
+	fw.recordAttempt(m, completed)
 	fw.Reports = append(fw.Reports, m.report)
 	fw.current = nil
 	if completed {

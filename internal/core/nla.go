@@ -211,6 +211,10 @@ func (a *NLA) runSource(p *sim.Proc, m *migrationState) {
 	if m.aborted {
 		return
 	}
+	// All kRelease messages precede kComplete on the in-order QP (and the
+	// socket path returns chunks synchronously), so any chunk still checked
+	// out here is leaked for good.
+	m.poolOutstanding = src.outstanding()
 	m.report.Extra["chunks"] = src.ChunksSent
 
 	// The source node is now out of the job.

@@ -1,0 +1,145 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"ibmig/internal/sim"
+)
+
+// flapSensor returns a sensor that sits at warn level during each listed
+// window and is healthy otherwise — a scripted flap, one excursion (and so
+// one edge-triggered warning) per window.
+func flapSensor(name string, windows [][2]sim.Time) *Sensor {
+	return &Sensor{
+		Name: name, Warn: 10, Crit: 1000,
+		Series: func(t sim.Time) float64 {
+			for _, w := range windows {
+				if t >= w[0] && t < w[1] {
+					return 20
+				}
+			}
+			return 1
+		},
+	}
+}
+
+func win(startMS, endMS int) [2]sim.Time {
+	return [2]sim.Time{
+		sim.Time(time.Duration(startMS) * time.Millisecond),
+		sim.Time(time.Duration(endMS) * time.Millisecond),
+	}
+}
+
+func TestFlappingSensorBelowThresholdStaysSilent(t *testing.T) {
+	// Two warn excursions against a threshold of three: the flap must not
+	// produce a failure prediction, however long the run continues.
+	e, bp, nodes := backplane(3)
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{
+		flapSensor("ecc", [][2]sim.Time{win(1000, 1200), win(3000, 3200)}),
+	})
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); ok {
+		t.Fatalf("2-flap sensor predicted failure for %s with threshold 3", node)
+	}
+	if pred.warns[nodes[1]] != 2 {
+		t.Fatalf("warn count = %d, want 2", pred.warns[nodes[1]])
+	}
+	e.Shutdown()
+}
+
+func TestFlappingSensorAtThresholdPredicts(t *testing.T) {
+	// The third excursion crosses the threshold: exactly one prediction,
+	// regardless of further flapping afterwards.
+	e, bp, nodes := backplane(3)
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{
+		flapSensor("ecc", [][2]sim.Time{win(1000, 1200), win(2000, 2200), win(3000, 3200), win(4000, 4200)}),
+	})
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); !ok || node != nodes[1] {
+		t.Fatalf("prediction = %q ok=%v, want %s after third flap", node, ok, nodes[1])
+	}
+	if _, again := pred.Predictions.TryRecv(); again {
+		t.Fatal("flapping after the prediction produced a duplicate")
+	}
+	e.Shutdown()
+}
+
+func TestFlapWarningsCountPerNode(t *testing.T) {
+	// Two nodes flapping twice each is four warnings total but two per node:
+	// below the threshold, so neither is predicted — warning counts must not
+	// bleed across nodes.
+	e, bp, nodes := backplane(4)
+	for _, n := range []string{nodes[1], nodes[2]} {
+		NewMonitor(e, bp, n, 100*time.Millisecond, []*Sensor{
+			flapSensor("ecc", [][2]sim.Time{win(1000, 1200), win(3000, 3200)}),
+		})
+	}
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(8 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); ok {
+		t.Fatalf("cross-node warning bleed predicted %s", node)
+	}
+	e.Shutdown()
+}
+
+func TestRecoveredSensorStillPredictsOnCritical(t *testing.T) {
+	// A sensor that flaps once, recovers, then jumps straight to critical:
+	// the critical crossing must predict immediately, ignoring the warn
+	// count.
+	e, bp, nodes := backplane(3)
+	s := &Sensor{
+		Name: "cpu-temp", Warn: 85, Crit: 95,
+		Series: func(tm sim.Time) float64 {
+			switch {
+			case tm >= sim.Time(1*time.Second) && tm < sim.Time(1200*time.Millisecond):
+				return 90 // one warn excursion
+			case tm >= sim.Time(3*time.Second):
+				return 99 // critical
+			}
+			return 60
+		},
+	}
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{s})
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := pred.Predictions.TryRecv(); !ok || node != nodes[1] {
+		t.Fatalf("prediction = %q ok=%v, want %s on critical", node, ok, nodes[1])
+	}
+	e.Shutdown()
+}
+
+func TestWarnToCriticalEscalationSingleExcursion(t *testing.T) {
+	// A monotone deterioration passes warn, then crit, within one excursion:
+	// the monitor publishes one warn and one crit (two edges), and the
+	// predictor fires exactly once.
+	e, bp, nodes := backplane(3)
+	NewMonitor(e, bp, nodes[1], 100*time.Millisecond, []*Sensor{
+		RampSensor("cpu-temp", 85, 95, 60, sim.Time(time.Second), 30),
+	})
+	sub := bp.Connect(nodes[2], "obs").Subscribe(NamespaceIPMI, "")
+	pred := NewPredictor(e, bp, nodes[0], 3)
+	if err := e.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Pending() != 2 {
+		t.Fatalf("IPMI events = %d, want 2 (warn edge + crit edge)", sub.Pending())
+	}
+	if node, ok := pred.Predictions.TryRecv(); !ok || node != nodes[1] {
+		t.Fatalf("prediction = %q ok=%v, want %s", node, ok, nodes[1])
+	}
+	if _, again := pred.Predictions.TryRecv(); again {
+		t.Fatal("duplicate prediction on warn->crit escalation")
+	}
+	e.Shutdown()
+}

@@ -136,6 +136,23 @@ func (c *Collector) Spans() []Span {
 	return c.spans
 }
 
+// ActiveAt returns "actor/name" labels for every span whose interval covers
+// time t (still-open spans count as covering [Start, ∞)). The invariant
+// checker uses it to attach span context to a violation's timestamp.
+func (c *Collector) ActiveAt(t sim.Time) []string {
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for i := range c.spans {
+		s := &c.spans[i]
+		if s.Start <= t && (s.open || t <= s.End) {
+			out = append(out, s.Actor+"/"+s.Name)
+		}
+	}
+	return out
+}
+
 // CloseOpen ends every still-open span at time t. Call it after the run so
 // aborted attempts still export well-formed intervals.
 func (c *Collector) CloseOpen(t sim.Time) {

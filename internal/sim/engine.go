@@ -77,6 +77,7 @@ type killSentinel struct{}
 type event struct {
 	t      Time
 	seq    uint64
+	key    uint64 // perturbation tie-break; always 0 when perturbation is off
 	fn     func()
 	p      *Proc
 	token  uint64
@@ -90,6 +91,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
 	}
 	return h[i].seq < h[j].seq
 }
@@ -120,6 +124,8 @@ type Engine struct {
 	seed   int64
 
 	dispatched uint64 // events executed, for events/sec reporting
+
+	perturb *rand.Rand // schedule perturbation source; nil = off (the default)
 
 	live     int // processes spawned and not yet finished
 	nextPID  int
@@ -212,16 +218,55 @@ func (e *Engine) freeEvent(ev *event) {
 // pushEvent enqueues ev: onto the ready ring when due now (no heap traffic),
 // onto the time-ordered heap otherwise. Events at equal times fire in
 // scheduling order either way, so the split is invisible to the simulation.
+//
+// With perturbation enabled every event instead goes through the heap with a
+// random tie-break key, so same-instant events pop in a seeded-shuffled order
+// (see EnablePerturbation).
 func (e *Engine) pushEvent(ev *event) {
 	e.seq++
 	ev.seq = e.seq
 	if ev.t <= e.now {
 		ev.t = e.now
-		e.ready.push(ev)
-	} else {
+		if e.perturb == nil {
+			e.ready.push(ev)
+			return
+		}
+	}
+	if e.perturb != nil {
+		ev.key = e.perturb.Uint64()
+	}
+	heap.Push(&e.events, ev)
+}
+
+// EnablePerturbation turns on schedule perturbation: events scheduled for the
+// same virtual instant fire in a deterministic seeded shuffle instead of
+// scheduling order. Timestamps never change — only the tie-break among
+// simultaneous events — so any ordering the protocol under test relies on must
+// be enforced by explicit synchronization, which is exactly what the
+// internal/check harness probes. The shuffle is a pure function of the seed:
+// the same (engine seed, perturbation seed) pair replays identically.
+//
+// Call before Run. Events already queued (e.g. the start events of processes
+// spawned during setup) are re-keyed so the shuffle covers them too. When
+// never called, the engine is bit-identical to one without this feature (the
+// golden-trace tests in internal/exp and internal/sim pin this).
+func (e *Engine) EnablePerturbation(seed int64) {
+	e.perturb = rand.New(rand.NewSource(seed))
+	// Migrate the ready ring onto the heap: the ring is FIFO and cannot
+	// express a shuffled order.
+	for e.ready.len() > 0 {
+		ev := e.ready.pop()
+		ev.key = e.perturb.Uint64()
 		heap.Push(&e.events, ev)
 	}
+	for _, ev := range e.events {
+		ev.key = e.perturb.Uint64()
+	}
+	heap.Init(&e.events)
 }
+
+// Perturbed reports whether schedule perturbation is enabled.
+func (e *Engine) Perturbed() bool { return e.perturb != nil }
 
 // schedule enqueues fn to run at time t (>= now).
 func (e *Engine) schedule(t Time, fn func()) {

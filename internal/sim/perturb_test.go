@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// perturbOrder runs n procs that all sleep to the same instant and records
+// the order in which they wake. seed < 0 leaves perturbation off.
+func perturbOrder(t *testing.T, n int, seed int64) []int {
+	t.Helper()
+	e := NewEngine(1)
+	if seed >= 0 {
+		e.EnablePerturbation(seed)
+	}
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("woke %d procs, want %d", len(order), n)
+	}
+	return order
+}
+
+func TestPerturbationOffPreservesFIFO(t *testing.T) {
+	got := perturbOrder(t, 8, -1)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v: same-instant events must stay FIFO when perturbation is off", got)
+		}
+	}
+}
+
+func TestPerturbationShufflesSameInstantEvents(t *testing.T) {
+	shuffled := false
+	for seed := int64(0); seed < 8; seed++ {
+		got := perturbOrder(t, 8, seed)
+		for i, v := range got {
+			if v != i {
+				shuffled = true
+			}
+		}
+	}
+	if !shuffled {
+		t.Fatal("no seed in [0,8) permuted 8 same-instant events; perturbation is inert")
+	}
+}
+
+func TestPerturbationDeterministicPerSeed(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		a := perturbOrder(t, 12, seed)
+		b := perturbOrder(t, 12, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: run 1 %v != run 2 %v", seed, a, b)
+		}
+	}
+}
+
+func TestPerturbationDistinctSeedsDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 16; seed++ {
+		got := perturbOrder(t, 10, seed)
+		key := ""
+		for _, v := range got {
+			key += string(rune('a' + v))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("16 seeds produced a single wake order; keys are not being consumed")
+	}
+}
+
+// EnablePerturbation mid-run must re-key events already queued (including
+// those sitting in the same-instant ready ring) so the shuffle applies to
+// the whole pending set, not just future pushes.
+func TestEnablePerturbationMidRunRekeysPending(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine(1)
+		var order []int
+		for i := 0; i < 6; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				p.Sleep(time.Millisecond)
+				order = append(order, i)
+			})
+		}
+		e.Spawn("enabler", func(p *Proc) {
+			// Fires at t=0, before the sleepers wake; the six timers are
+			// already in the heap when perturbation switches on.
+			e.EnablePerturbation(seed)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	if !reflect.DeepEqual(run(3), run(3)) {
+		t.Fatal("mid-run enable is nondeterministic for a fixed seed")
+	}
+	shuffled := false
+	for seed := int64(0); seed < 8; seed++ {
+		got := run(seed)
+		for i, v := range got {
+			if v != i {
+				shuffled = true
+			}
+		}
+	}
+	if !shuffled {
+		t.Fatal("mid-run enable never permuted events already in the heap")
+	}
+}
+
+func TestPerturbedReportsState(t *testing.T) {
+	e := NewEngine(1)
+	if e.Perturbed() {
+		t.Fatal("fresh engine reports perturbed")
+	}
+	e.EnablePerturbation(1)
+	if !e.Perturbed() {
+		t.Fatal("EnablePerturbation did not stick")
+	}
+}
