@@ -11,6 +11,9 @@
 //   - experiment macrobenchmark: wall time and events/sec of the paper-scale
 //     LU migration-vs-CR comparison (the Fig. 7 workhorse), plus the scale
 //     sweep at increasing -parallel settings with measured speedups
+//   - robustness: head-to-head strategy campaigns (per-strategy goodput and
+//     MTTR under identical fault schedules), so recovery-quality regressions
+//     are tracked next to performance ones
 //
 // Usage:
 //
@@ -120,10 +123,74 @@ type Baseline struct {
 		DisabledPathAllocs int64   `json:"disabled_path_allocs_per_op"`
 	} `json:"obs"`
 
+	// Robustness records the head-to-head fault-tolerance campaigns so
+	// BENCH_sim.json tracks recovery quality alongside performance: every
+	// strategy runs the same job under an identical fault schedule, at the
+	// paper's headline point (one well-predicted failure) and at the burst
+	// point that reverses the verdict (three failures, only the first
+	// predicted). The simulated numbers are deterministic; only wall_s is
+	// host-dependent.
+	Robustness struct {
+		Kernel       string        `json:"kernel"`
+		WallS        float64       `json:"wall_s"`
+		OnePredicted []StrategyArm `json:"one_predicted_failure"`
+		Burst3       []StrategyArm `json:"three_failure_burst"`
+	} `json:"robustness"`
+
 	// PreOptimization pins the numbers measured on the same host immediately
 	// before the hot-path overhaul (ready-ring batching, event freelist, ring
 	// wait lists, checksum memoization), for before/after comparison.
 	PreOptimization map[string]any `json:"pre_optimization"`
+}
+
+// StrategyArm is one strategy's outcome in a robustness campaign.
+type StrategyArm struct {
+	Strategy        string  `json:"strategy"`
+	Completed       bool    `json:"completed"`
+	GoodputPct      float64 `json:"goodput_pct"`
+	MTTRS           float64 `json:"mttr_s"`
+	ReworkS         float64 `json:"rework_s"`
+	NodeSecondsLost float64 `json:"node_seconds_lost"`
+	Migrations      int     `json:"migrations"`
+	Restarts        int     `json:"restarts"`
+	ReplicaRestores int     `json:"replica_restores"`
+}
+
+func armsOf(cr *exp.CampaignResult) []StrategyArm {
+	var out []StrategyArm
+	for i := range cr.Results {
+		r := &cr.Results[i]
+		out = append(out, StrategyArm{
+			Strategy:        r.Strategy,
+			Completed:       r.Completed,
+			GoodputPct:      r.GoodputPct,
+			MTTRS:           time.Duration(r.MTTRNS).Seconds(),
+			ReworkS:         time.Duration(r.ReworkNS).Seconds(),
+			NodeSecondsLost: r.NodeSecondsLost,
+			Migrations:      r.Migrations,
+			Restarts:        r.ReactiveRestarts,
+			ReplicaRestores: r.ReplicaRestores,
+		})
+	}
+	return out
+}
+
+// measureRobustness fills the robustness section from two strategy campaigns
+// on the shared failure schedule.
+func measureRobustness(b *Baseline, sc exp.Scale) {
+	fmt.Fprintln(os.Stderr, "strategy campaigns (robustness section)...")
+	old := exp.Parallelism()
+	exp.SetParallelism(0)
+	defer exp.SetParallelism(old)
+	start := time.Now()
+	spec := exp.CampaignSpec{Kernel: npb.LU, Scale: sc, Failures: 1}
+	one := exp.RunCampaign(spec)
+	spec.Failures = 3
+	burst := exp.RunCampaign(spec)
+	b.Robustness.Kernel = "LU"
+	b.Robustness.WallS = time.Since(start).Seconds()
+	b.Robustness.OnePredicted = armsOf(one)
+	b.Robustness.Burst3 = armsOf(burst)
 }
 
 func microOf(r testing.BenchmarkResult, events uint64) Micro {
@@ -232,8 +299,8 @@ func main() {
 	// Incremental mode: a full regeneration takes minutes, so -only re-measures
 	// one section into the existing file and leaves the rest untouched.
 	if *only != "" {
-		if *only != "obs" {
-			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs)\n", *only)
+		if *only != "obs" && *only != "robustness" {
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness)\n", *only)
 			os.Exit(2)
 		}
 		data, err := os.ReadFile(*out)
@@ -245,11 +312,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *out, err)
 			os.Exit(1)
 		}
-		measureObs(&b, sc)
-		writeBaseline(*out, &b)
-		fmt.Printf("updated obs section of %s (p50=%.1fµs p99=%.1fµs over %d chunks, hottest link %s at %.1f%%)\n",
-			*out, b.Obs.RDMAChunkP50US, b.Obs.RDMAChunkP99US, b.Obs.RDMAChunks,
-			b.Obs.PeakLink, b.Obs.PeakLinkBusyFrac*100)
+		switch *only {
+		case "obs":
+			measureObs(&b, sc)
+			writeBaseline(*out, &b)
+			fmt.Printf("updated obs section of %s (p50=%.1fµs p99=%.1fµs over %d chunks, hottest link %s at %.1f%%)\n",
+				*out, b.Obs.RDMAChunkP50US, b.Obs.RDMAChunkP99US, b.Obs.RDMAChunks,
+				b.Obs.PeakLink, b.Obs.PeakLinkBusyFrac*100)
+		case "robustness":
+			measureRobustness(&b, sc)
+			writeBaseline(*out, &b)
+			fmt.Printf("updated robustness section of %s (%d arms per campaign, %.1fs wall)\n",
+				*out, len(b.Robustness.OnePredicted), b.Robustness.WallS)
+		}
 		return
 	}
 
@@ -419,6 +494,9 @@ func main() {
 		b.SweepScaling = append(b.SweepScaling, sp)
 	}
 	exp.SetParallelism(1)
+
+	// --- robustness -------------------------------------------------------
+	measureRobustness(&b, sc)
 
 	// --- observability ----------------------------------------------------
 	measureObs(&b, sc)

@@ -13,6 +13,10 @@
 //	         interval between job-wide checkpoints (paper section VI)
 //	sweep    cluster-scale sweep: LU migration at 64..2048 ranks (paper PPN),
 //	         with per-point event counts and simulator throughput
+//	crossover head-to-head strategy campaigns (proactive migration, reactive
+//	         CR, replication, adaptive) under identical failure schedules,
+//	         swept over failure density — the Cappello-style migration-vs-CR
+//	         crossover, plus a correlated rack-failure point
 //
 // Usage:
 //
@@ -44,7 +48,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline")
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline, crossover")
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
@@ -184,6 +188,15 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *traceOut)
 		}
+	})
+	run("crossover", func() {
+		spec := exp.CampaignSpec{Kernel: npb.LU, Scale: sc}
+		fmt.Println("Crossover — strategy goodput vs failure density (LU, shared fault schedule)")
+		fmt.Println(exp.FormatCrossover(exp.CrossoverSweep(spec, []int{1, 2, 3})))
+		corr := spec
+		corr.Failures = 1
+		corr.Correlated = true
+		fmt.Println(exp.FormatCrossover([]*exp.CampaignResult{exp.RunCampaign(corr)}))
 	})
 	run("sweep", func() {
 		ranks := exp.DefaultSweepRanks

@@ -19,6 +19,7 @@ import (
 
 	"ibmig/internal/check"
 	"ibmig/internal/exp"
+	"ibmig/internal/strategy"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		n        = flag.Int("n", 100, "number of seeded scenarios to run")
 		seed     = flag.Int64("seed", 1, "base seed; scenario i uses seed+i")
 		spec     = flag.String("spec", "", "run this one scenario spec instead of a sweep")
+		strat    = flag.String("strategy", "", "fault-tolerance strategy for the sweep (proactive, reactive-cr, replicate, adaptive; empty = proactive)")
 		jsonOut  = flag.String("json", "", "write the JSON artifact to this file")
 		shrink   = flag.Bool("shrink", true, "shrink failing scenarios to minimal repro specs")
 		parallel = flag.Int("parallel", 0, "concurrent engines (0 = GOMAXPROCS)")
@@ -33,6 +35,11 @@ func main() {
 		invs     = flag.Bool("invariants", false, "list registered invariants and exit")
 	)
 	flag.Parse()
+
+	if _, err := strategy.ByName(*strat); err != nil {
+		fmt.Fprintln(os.Stderr, "protocheck:", err)
+		os.Exit(2)
+	}
 
 	if *invs {
 		for _, inv := range check.Registry() {
@@ -56,7 +63,7 @@ func main() {
 			}
 		}
 	}
-	sum := check.Sweep(*n, *seed, progress)
+	sum := check.Sweep(*n, *seed, *strat, progress)
 	sum.Write(os.Stdout)
 	for _, r := range sum.Failures {
 		fmt.Printf("\nFAIL %s\n", r.Spec)

@@ -6,6 +6,7 @@ import (
 
 	"ibmig/internal/fault"
 	"ibmig/internal/npb"
+	"ibmig/internal/strategy"
 )
 
 func TestSpecRoundTrip(t *testing.T) {
@@ -46,6 +47,9 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"f=ftb-drop:MIGRATE_REQUEST@1", // not a protocol event
 		"f=node-crash:src@9",           // no phase 9
 		"sp=1 f=disk-fail:spare2@2",    // no second spare
+		"f=rack-fail:other@2",          // bystander rack failure out of envelope
+		"sp=1 f=link-flap:spare2@3",    // no second spare to flap
+		"strat=bogus",                  // unknown strategy
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted an invalid spec", spec)
@@ -182,8 +186,8 @@ func TestSweepDeterministicAndSlotStable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is seconds-long; skipped in -short")
 	}
-	a := Sweep(12, 1, nil)
-	b := Sweep(12, 1, nil)
+	a := Sweep(12, 1, "", nil)
+	b := Sweep(12, 1, "", nil)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("sweep summaries differ:\n  %+v\n  %+v", a, b)
 	}
@@ -206,6 +210,73 @@ func TestVictimResolution(t *testing.T) {
 	}
 	if res.Completed != 1 || res.Aborted != 0 {
 		t.Fatalf("completed=%d aborted=%d, want 1/0", res.Completed, res.Aborted)
+	}
+}
+
+func TestStrategyMatrixHoldsInvariants(t *testing.T) {
+	// Every registered strategy must hold every invariant on a slice of the
+	// scenario space that exercises its distinctive machinery: a clean run, a
+	// mid-transfer target crash, a checkpointed source crash, a correlated
+	// rack failure, and a flapping link.
+	specs := []string{
+		"seed=2",
+		"seed=3 f=node-crash:tgt@2",
+		"seed=5 ckpt f=node-crash:src@2",
+		"seed=7 sp=3 ckpt f=rack-fail:src@2",
+		"seed=4 f=link-flap:src@2",
+	}
+	for _, strat := range strategy.Names() {
+		for _, spec := range specs {
+			sc, err := Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Strategy = strat
+			res := RunScenario(sc)
+			if res.Failed() {
+				t.Errorf("%s under %s: violations: %v", spec, strat, res.Violations)
+			}
+		}
+	}
+}
+
+func TestRackFailKillsWholeRack(t *testing.T) {
+	// A rack failure at phase 2 takes the source AND its rack peer (a
+	// bystander hosting unprotected ranks). With a prior checkpoint and three
+	// spares the CR fallback must re-place every lost node and finish.
+	sc, err := Parse("seed=7 sp=3 ckpt f=rack-fail:src@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunScenario(sc)
+	if res.Failed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.JobLost || !res.AppDone {
+		t.Fatalf("jobLost=%v appDone=%v, want false/true", res.JobLost, res.AppDone)
+	}
+	if res.Fallbacks+res.ReactiveRestarts == 0 {
+		t.Fatalf("rack failure recovered without any restart (fallbacks=%d reactive=%d)",
+			res.Fallbacks, res.ReactiveRestarts)
+	}
+}
+
+func TestLinkFlapSurvivedWithoutHang(t *testing.T) {
+	// A flapping source HCA mid-migration must never hang the run: the
+	// attempt may abort and retry, but the driver terminates and the app
+	// either finishes or the job is (legitimately) lost.
+	for _, spec := range []string{"seed=4 f=link-flap:src@2", "seed=6 ckpt f=link-flap:tgt@1"} {
+		sc, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunScenario(sc)
+		if res.Failed() {
+			t.Fatalf("%s: violations: %v", spec, res.Violations)
+		}
+		if !res.AppDone && !res.JobLost {
+			t.Fatalf("%s: neither finished nor lost", spec)
+		}
 	}
 }
 
@@ -264,7 +335,10 @@ func TestGeneratorCoversOutcomeSpace(t *testing.T) {
 	if faulted < 100 || perturbed < 100 || ckpted < 60 {
 		t.Fatalf("thin coverage: faulted=%d perturbed=%d ckpted=%d", faulted, perturbed, ckpted)
 	}
-	for _, k := range []fault.Kind{fault.NodeCrash, fault.HCAFail, fault.DiskFail, fault.FTBDrop, fault.FTBDelay} {
+	for _, k := range []fault.Kind{
+		fault.NodeCrash, fault.HCAFail, fault.DiskFail,
+		fault.FTBDrop, fault.FTBDelay, fault.RackFail, fault.LinkFlap,
+	} {
 		if kinds[k] == 0 {
 			t.Errorf("generator never produced %v", k)
 		}

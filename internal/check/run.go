@@ -11,12 +11,22 @@ import (
 	"ibmig/internal/npb"
 	"ibmig/internal/obs"
 	"ibmig/internal/sim"
+	"ibmig/internal/strategy"
 )
 
 // checkDeadline is the per-phase watchdog deadline for DST runs: far above
 // any healthy ClassS/W phase (milliseconds to ~1 s), far below the default
 // 2 min so dead-node stalls resolve quickly across a 500-scenario sweep.
 const checkDeadline = 10 * time.Second
+
+// checkCkptInterval compresses the periodic-checkpoint cadence of reactive
+// strategies into the millisecond-scale ClassS/W runs the DST envelope uses,
+// so the policy-checkpoint loop actually fires inside a scenario.
+const checkCkptInterval = 250 * time.Millisecond
+
+// checkRackSize groups DST cluster nodes into two-node racks so rack-fail
+// scenarios take a correlated bystander down with the named victim.
+const checkRackSize = 2
 
 // Result is the outcome of one scenario run — everything cmd/protocheck
 // reports and the JSON artifact records.
@@ -25,16 +35,20 @@ type Result struct {
 	Scenario   Scenario    `json:"scenario"`
 	Violations []Violation `json:"violations,omitempty"`
 
-	Attempts  int    `json:"attempts"`
-	Completed int    `json:"completed"`
-	Aborted   int    `json:"aborted"`
-	Retries   int    `json:"retries"`
-	Fallbacks int    `json:"fallbacks"`
-	JobLost   bool   `json:"job_lost,omitempty"`
-	AppDone   bool   `json:"app_done"`
-	Faults    int    `json:"faults"`
-	Events    uint64 `json:"events"`
-	SimNS     int64  `json:"sim_ns"`
+	Attempts         int    `json:"attempts"`
+	Completed        int    `json:"completed"`
+	Aborted          int    `json:"aborted"`
+	Retries          int    `json:"retries"`
+	Fallbacks        int    `json:"fallbacks"`
+	ReactiveRestarts int    `json:"reactive_restarts,omitempty"`
+	ReplicaRestores  int    `json:"replica_restores,omitempty"`
+	SpareExhaustions int    `json:"spare_exhaustions,omitempty"`
+	PolicyCkpts      int    `json:"policy_ckpts,omitempty"`
+	JobLost          bool   `json:"job_lost,omitempty"`
+	AppDone          bool   `json:"app_done"`
+	Faults           int    `json:"faults"`
+	Events           uint64 `json:"events"`
+	SimNS            int64  `json:"sim_ns"`
 }
 
 // Failed reports whether any invariant was violated.
@@ -90,13 +104,21 @@ func RunScenario(sc Scenario) (res *Result) {
 		ComputeNodes: sc.Ranks / sc.PPN,
 		SpareNodes:   sc.Spares,
 		PVFSServers:  2, // the CR-fallback image must survive node deaths
+		RackSize:     checkRackSize,
 	})
 	w := npb.New(sc.Kernel, sc.Class, sc.Ranks)
 	npbRes := npb.NewResult(sc.Ranks)
-	pr.fw = core.Launch(pr.c, w, sc.PPN, npbRes, core.Options{
+	strat, _ := strategy.ByName(sc.Strategy) // Valid() vetted the name
+	opts := core.Options{
 		Hash:          true,
 		PhaseDeadline: checkDeadline,
-	})
+		AutoPolicy:    true,
+		Strategy:      strat,
+	}
+	if strat.CheckpointInterval() > 0 {
+		opts.CkptInterval = checkCkptInterval
+	}
+	pr.fw = core.Launch(pr.c, w, sc.PPN, npbRes, opts)
 	pr.jm = pr.fw.JobManager()
 	pr.fw.OnPhase(func(p *sim.Proc, seq, phase int) {
 		pr.phases = append(pr.phases, phaseEntry{T: p.Now(), Seq: seq, Phase: phase})
@@ -127,10 +149,14 @@ func RunScenario(sc Scenario) (res *Result) {
 		p.Sleep(w.EstimatedRuntime() / 100 * sim.Duration(sc.TrigPct))
 		pr.fw.TriggerMigration(p, src).Wait(p)
 		pr.trigFired = true
-		if !pr.jm.JobLost {
-			pr.fw.W.WaitDone(p)
-			pr.appDone = true
+		// Under an auto policy the job can still be lost (or saved) after the
+		// trigger resolves — a deferred node death handled once the migration
+		// finishes — so poll for either terminal state instead of committing
+		// to WaitDone.
+		for !pr.fw.W.Done() && !pr.jm.JobLost {
+			p.Sleep(time.Millisecond)
 		}
+		pr.appDone = pr.fw.W.Done()
 		pr.ctlDone = true
 		e.Stop()
 	})
@@ -164,6 +190,10 @@ func RunScenario(sc Scenario) (res *Result) {
 	res.Attempts = len(pr.fw.Attempts)
 	res.Retries = pr.jm.SpareRetries
 	res.Fallbacks = pr.jm.CRFallbacks
+	res.ReactiveRestarts = pr.jm.ReactiveRestarts
+	res.ReplicaRestores = pr.jm.ReplicaRestores
+	res.SpareExhaustions = pr.jm.SpareExhaustions
+	res.PolicyCkpts = pr.jm.PolicyCheckpoints
 	res.JobLost = pr.jm.JobLost
 	res.AppDone = pr.appDone
 	res.Events = e.Events()

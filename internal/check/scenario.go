@@ -22,6 +22,7 @@ import (
 	"ibmig/internal/fault"
 	"ibmig/internal/npb"
 	"ibmig/internal/sim"
+	"ibmig/internal/strategy"
 )
 
 // Role names a fault victim relative to the migration, so a scenario is
@@ -98,6 +99,8 @@ var faultKinds = map[string]fault.Kind{
 	fault.DiskFail.String():  fault.DiskFail,
 	fault.FTBDrop.String():   fault.FTBDrop,
 	fault.FTBDelay.String():  fault.FTBDelay,
+	fault.RackFail.String():  fault.RackFail,
+	fault.LinkFlap.String():  fault.LinkFlap,
 }
 
 func parseFault(s string) (FaultSpec, error) {
@@ -146,16 +149,17 @@ func parseFault(s string) (FaultSpec, error) {
 // timing, checkpoint policy, schedule perturbation, and fault schedule. The
 // zero-ish Default() scenario is a clean 8-rank LU.S migration.
 type Scenario struct {
-	Seed    int64       `json:"seed"`              // engine RNG seed
-	Kernel  npb.Kernel  `json:"kernel"`            // LU / BT / SP
-	Class   npb.Class   `json:"class"`             // S / W
-	Ranks   int         `json:"ranks"`             //
-	PPN     int         `json:"ppn"`               // ranks per node
-	Spares  int         `json:"spares"`            // hot-spare nodes (1..3)
-	TrigPct int         `json:"trig_pct"`          // trigger at % of estimated runtime
-	Ckpt    bool        `json:"ckpt"`              // take a full-job checkpoint first
-	Perturb int64       `json:"perturb,omitempty"` // schedule-perturbation seed; 0 = off
-	Faults  []FaultSpec `json:"faults,omitempty"`
+	Seed     int64       `json:"seed"`               // engine RNG seed
+	Kernel   npb.Kernel  `json:"kernel"`             // LU / BT / SP
+	Class    npb.Class   `json:"class"`              // S / W
+	Ranks    int         `json:"ranks"`              //
+	PPN      int         `json:"ppn"`                // ranks per node
+	Spares   int         `json:"spares"`             // hot-spare nodes (1..3)
+	TrigPct  int         `json:"trig_pct"`           // trigger at % of estimated runtime
+	Ckpt     bool        `json:"ckpt"`               // take a full-job checkpoint first
+	Perturb  int64       `json:"perturb,omitempty"`  // schedule-perturbation seed; 0 = off
+	Strategy string      `json:"strategy,omitempty"` // fault-tolerance policy; "" = proactive
+	Faults   []FaultSpec `json:"faults,omitempty"`
 }
 
 // Default is the baseline scenario every spec field shrinks toward: a clean
@@ -191,6 +195,7 @@ func (sc Scenario) String() string {
 	add(sc.TrigPct != d.TrigPct, fmt.Sprintf("trig=%d", sc.TrigPct))
 	add(sc.Ckpt, "ckpt")
 	add(sc.Perturb != 0, fmt.Sprintf("perturb=%d", sc.Perturb))
+	add(sc.Strategy != "", "strat="+sc.Strategy)
 	for _, f := range sc.Faults {
 		parts = append(parts, "f="+f.String())
 	}
@@ -227,6 +232,8 @@ func Parse(spec string) (Scenario, error) {
 			sc.Ckpt = true
 		case "perturb":
 			sc.Perturb, err = strconv.ParseInt(val, 10, 64)
+		case "strat":
+			sc.Strategy = val
 		case "f":
 			var f FaultSpec
 			if f, err = parseFault(val); err == nil {
@@ -250,7 +257,7 @@ func (sc Scenario) Fields() int {
 	for _, diff := range []bool{
 		sc.Kernel != d.Kernel, sc.Class != d.Class, sc.Ranks != d.Ranks,
 		sc.PPN != d.PPN, sc.Spares != d.Spares, sc.TrigPct != d.TrigPct,
-		sc.Ckpt, sc.Perturb != 0,
+		sc.Ckpt, sc.Perturb != 0, sc.Strategy != "",
 	} {
 		if diff {
 			n++
@@ -294,17 +301,22 @@ func (sc Scenario) Valid() error {
 	if sc.TrigPct < 5 || sc.TrigPct > 90 {
 		return fmt.Errorf("check: trigger %%%d out of range [5,90]", sc.TrigPct)
 	}
+	if _, err := strategy.ByName(sc.Strategy); err != nil {
+		return fmt.Errorf("check: %v", err)
+	}
 	for _, f := range sc.Faults {
 		if f.Phase < 1 || f.Phase > 4 {
 			return fmt.Errorf("check: fault %v: phase out of range", f)
 		}
 		switch f.Kind {
-		case fault.NodeCrash, fault.HCAFail:
+		case fault.NodeCrash, fault.HCAFail, fault.RackFail, fault.LinkFlap:
 			// Crashing a node the migration does not involve kills
 			// unprotected ranks — the framework's docs scope that out, so
-			// the generator does too.
+			// the generator does too. (Rack failures DO take bystanders down
+			// with the victim's rack; surviving them is the reactive
+			// strategies' job, and losing the job to one is legitimate.)
 			if f.Role == RoleBystander {
-				return fmt.Errorf("check: fault %v: crash/hca limited to src/tgt/spare2", f)
+				return fmt.Errorf("check: fault %v: crash/hca/rack/flap limited to src/tgt/spare2", f)
 			}
 			fallthrough
 		case fault.DiskFail:
@@ -384,7 +396,10 @@ func Generate(seed int64) Scenario {
 
 func randomFault(rng *rand.Rand, sc Scenario) FaultSpec {
 	f := FaultSpec{Phase: 1 + rng.Intn(4)}
-	kinds := []fault.Kind{fault.NodeCrash, fault.HCAFail, fault.DiskFail, fault.FTBDrop, fault.FTBDelay}
+	kinds := []fault.Kind{
+		fault.NodeCrash, fault.HCAFail, fault.DiskFail,
+		fault.FTBDrop, fault.FTBDelay, fault.RackFail, fault.LinkFlap,
+	}
 	f.Kind = kinds[rng.Intn(len(kinds))]
 	switch f.Kind {
 	case fault.FTBDrop:

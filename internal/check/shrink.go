@@ -53,6 +53,9 @@ func candidates(sc Scenario) []Scenario {
 	if sc.Perturb != 0 {
 		field(func(c *Scenario) { c.Perturb = 0 })
 	}
+	if sc.Strategy != "" {
+		field(func(c *Scenario) { c.Strategy = "" })
+	}
 	if sc.Ckpt {
 		field(func(c *Scenario) { c.Ckpt = false })
 	}

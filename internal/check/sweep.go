@@ -14,44 +14,52 @@ import (
 type Summary struct {
 	N          int            `json:"n"`
 	Seed       int64          `json:"seed"`
+	Strategy   string         `json:"strategy,omitempty"`
 	Checked    int            `json:"checked"`
 	Failures   []*Result      `json:"failures,omitempty"`
 	Invariants map[string]int `json:"violations_by_invariant,omitempty"`
 
 	// Coverage tallies: how much of the outcome space the sweep exercised.
-	Completed int `json:"migrations_completed"`
-	Aborted   int `json:"migrations_aborted"`
-	Retries   int `json:"spare_retries"`
-	Fallbacks int `json:"cr_fallbacks"`
-	JobsLost  int `json:"jobs_lost"`
-	Faulted   int `json:"scenarios_with_faults"`
-	Perturbed int `json:"scenarios_perturbed"`
+	Completed        int `json:"migrations_completed"`
+	Aborted          int `json:"migrations_aborted"`
+	Retries          int `json:"spare_retries"`
+	Fallbacks        int `json:"cr_fallbacks"`
+	ReactiveRestarts int `json:"reactive_restarts"`
+	ReplicaRestores  int `json:"replica_restores"`
+	SpareExhaustions int `json:"spare_exhaustions"`
+	PolicyCkpts      int `json:"policy_ckpts"`
+	JobsLost         int `json:"jobs_lost"`
+	Faulted          int `json:"scenarios_with_faults"`
+	Perturbed        int `json:"scenarios_perturbed"`
 
 	TotalEvents uint64 `json:"total_events"`
 }
 
-// Sweep runs scenarios Generate(seed)..Generate(seed+n-1), fanning engines
-// across CPUs via exp.RunParallel (one engine per goroutine; results land in
-// pre-indexed slots, so the summary is identical at any parallelism).
-func Sweep(n int, seed int64, progress func(done int)) *Summary {
+// Sweep runs scenarios Generate(seed)..Generate(seed+n-1) under the named
+// fault-tolerance strategy ("" = the default proactive policy), fanning
+// engines across CPUs via exp.RunParallel (one engine per goroutine; results
+// land in pre-indexed slots, so the summary is identical at any parallelism).
+func Sweep(n int, seed int64, strat string, progress func(done int)) *Summary {
 	results := make([]*Result, n)
 	var done atomic.Int64
 	tasks := make([]func(), n)
 	for i := range tasks {
 		i := i
 		tasks[i] = func() {
-			results[i] = RunScenario(Generate(seed + int64(i)))
+			sc := Generate(seed + int64(i))
+			sc.Strategy = strat
+			results[i] = RunScenario(sc)
 			if progress != nil {
 				progress(int(done.Add(1)))
 			}
 		}
 	}
 	exp.RunParallel(tasks...)
-	return summarize(results, n, seed)
+	return summarize(results, n, seed, strat)
 }
 
-func summarize(results []*Result, n int, seed int64) *Summary {
-	s := &Summary{N: n, Seed: seed, Invariants: map[string]int{}}
+func summarize(results []*Result, n int, seed int64, strat string) *Summary {
+	s := &Summary{N: n, Seed: seed, Strategy: strat, Invariants: map[string]int{}}
 	for _, r := range results {
 		if r == nil {
 			continue
@@ -61,6 +69,10 @@ func summarize(results []*Result, n int, seed int64) *Summary {
 		s.Aborted += r.Aborted
 		s.Retries += r.Retries
 		s.Fallbacks += r.Fallbacks
+		s.ReactiveRestarts += r.ReactiveRestarts
+		s.ReplicaRestores += r.ReplicaRestores
+		s.SpareExhaustions += r.SpareExhaustions
+		s.PolicyCkpts += r.PolicyCkpts
 		s.TotalEvents += r.Events
 		if r.JobLost {
 			s.JobsLost++
@@ -83,10 +95,16 @@ func summarize(results []*Result, n int, seed int64) *Summary {
 
 // Write renders the human-readable sweep summary.
 func (s *Summary) Write(w io.Writer) {
-	fmt.Fprintf(w, "protocheck: %d scenarios (seed %d): %d checked, %d failed\n",
-		s.N, s.Seed, s.Checked, len(s.Failures))
+	strat := s.Strategy
+	if strat == "" {
+		strat = "proactive"
+	}
+	fmt.Fprintf(w, "protocheck: %d scenarios (seed %d, strategy %s): %d checked, %d failed\n",
+		s.N, s.Seed, strat, s.Checked, len(s.Failures))
 	fmt.Fprintf(w, "  outcomes: %d completed, %d aborted, %d spare retries, %d CR fallbacks, %d jobs lost\n",
 		s.Completed, s.Aborted, s.Retries, s.Fallbacks, s.JobsLost)
+	fmt.Fprintf(w, "  recovery: %d reactive restarts, %d replica restores, %d spare exhaustions, %d policy ckpts\n",
+		s.ReactiveRestarts, s.ReplicaRestores, s.SpareExhaustions, s.PolicyCkpts)
 	fmt.Fprintf(w, "  coverage: %d/%d scenarios faulted, %d/%d perturbed, %d kernel events\n",
 		s.Faulted, s.Checked, s.Perturbed, s.Checked, s.TotalEvents)
 	if len(s.Invariants) > 0 {

@@ -35,6 +35,13 @@ type Config struct {
 	PVFSServers  int // default 4 (0 disables PVFS)
 	FTBFanout    int // default 4
 
+	// RackSize groups compute and spare nodes into racks (switch domains)
+	// of this many consecutive nodes — the correlated-failure unit: a rack
+	// fault takes every member down together. 0 disables rack topology
+	// (every node is its own failure domain). The login and I/O nodes sit
+	// outside the rack sequence.
+	RackSize int
+
 	IB     ib.Config
 	Disk   vfs.DiskConfig
 	FS     vfs.FSConfig
@@ -66,6 +73,10 @@ type Cluster struct {
 	nodes   map[string]*Node
 	dead    map[string]bool
 	monitor *ftb.Client
+
+	rackSize int
+	rackOf   map[string]int
+	racks    [][]string
 }
 
 // New builds a cluster on the engine.
@@ -129,7 +140,42 @@ func New(e *sim.Engine, cfg Config) *Cluster {
 	}
 	c.FTB = ftb.Deploy(e, c.Eth, ftbNodes, cfg.FTBFanout)
 	c.monitor = c.FTB.Connect("login", "cluster-monitor")
+	c.rackSize = cfg.RackSize
+	c.rackOf = make(map[string]int)
+	if cfg.RackSize > 0 {
+		racked := append(append([]*Node(nil), c.Compute...), c.Spares...)
+		for i, n := range racked {
+			r := i / cfg.RackSize
+			c.rackOf[n.Name] = r
+			for len(c.racks) <= r {
+				c.racks = append(c.racks, nil)
+			}
+			c.racks[r] = append(c.racks[r], n.Name)
+		}
+	}
 	return c
+}
+
+// RackOf returns the rack index of a node, or -1 when the node is not part
+// of the rack sequence (login, I/O servers, or rack topology disabled).
+func (c *Cluster) RackOf(name string) int {
+	if r, ok := c.rackOf[name]; ok {
+		return r
+	}
+	return -1
+}
+
+// RackMembers returns the node names sharing a rack with name (including
+// name itself). Without rack topology the node is its own failure domain.
+func (c *Cluster) RackMembers(name string) []string {
+	r, ok := c.rackOf[name]
+	if !ok {
+		if c.nodes[name] == nil {
+			return nil
+		}
+		return []string{name}
+	}
+	return append([]string(nil), c.racks[r]...)
 }
 
 // Node returns the named node, or nil.

@@ -40,6 +40,7 @@ import (
 	"ibmig/internal/obs"
 	"ibmig/internal/proc"
 	"ibmig/internal/sim"
+	"ibmig/internal/strategy"
 )
 
 // RestartMode selects how migrated processes are rebuilt on the target.
@@ -88,6 +89,25 @@ type Options struct {
 	// Default 2 minutes — generous against the paper's multi-second phases
 	// but finite, so a dead node can never hang the job.
 	PhaseDeadline sim.Duration
+
+	// Strategy selects the fault-tolerance policy the Job Manager consults
+	// (default strategy.ProactiveMigrate — the paper's behaviour, exactly).
+	Strategy strategy.Strategy
+	// AutoPolicy lets the Job Manager act on health warnings, failure
+	// predictions and node deaths autonomously (migrate, stage replicas,
+	// restart from checkpoint) and switches the MPI runtime into its
+	// fault-tolerant send mode. Off, the JM only reacts to faults hitting an
+	// explicitly triggered migration — the historical behaviour.
+	AutoPolicy bool
+	// MaxSpareRetries bounds how many times one trigger's aborted migration
+	// is retried onto a fresh spare before resuming in place (default 3).
+	MaxSpareRetries int
+	// RetryBackoff paces successive spare retries of one trigger (default
+	// strategy.DefaultBackoff; the first retry is always immediate).
+	RetryBackoff strategy.Backoff
+	// CkptInterval overrides the strategy's periodic checkpoint cadence
+	// under AutoPolicy (0 uses Strategy.CheckpointInterval()).
+	CkptInterval sim.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -103,7 +123,30 @@ func (o Options) withDefaults() Options {
 	if o.PhaseDeadline == 0 {
 		o.PhaseDeadline = 2 * time.Minute
 	}
+	if o.Strategy == nil {
+		o.Strategy = strategy.ProactiveMigrate{}
+	}
+	if o.MaxSpareRetries == 0 {
+		o.MaxSpareRetries = 3
+	}
+	if o.RetryBackoff == (strategy.Backoff{}) {
+		o.RetryBackoff = strategy.DefaultBackoff()
+	}
 	return o
+}
+
+// RecoveryRecord is one recovery action the framework carried out — the raw
+// material for MTTR and goodput accounting (exp.RunCampaign). Start..End
+// spans the action (for a migration, trigger to Phase 4 exit); Rework is the
+// recomputation debt a checkpoint- or replica-based restore incurred (time
+// since the restored image was taken); Ok is false when the job was lost.
+type RecoveryRecord struct {
+	Kind   string // "migrate", "resume-in-place", "cr-fallback", "reactive-cr", "replica", "abandon"
+	Node   string
+	Start  sim.Time
+	End    sim.Time
+	Rework sim.Duration
+	Ok     bool
 }
 
 // Framework is a launched MPI job under migration protection.
@@ -134,9 +177,16 @@ type Framework struct {
 	current      *migrationState
 
 	// ckpt is the last full-job checkpoint (taken via Checkpoint) — the
-	// recovery image the CR-fallback path restores from.
-	ckpt       *cr.Runner
-	ckptActive bool
+	// recovery image the CR-fallback path restores from. ckptTakenAt dates
+	// it, for rework accounting on restore.
+	ckpt        *cr.Runner
+	ckptActive  bool
+	ckptTakenAt sim.Time
+	recovering  bool // a reactive recovery currently owns the suspension
+
+	// Recoveries logs every recovery action taken, in order (see
+	// RecoveryRecord).
+	Recoveries []RecoveryRecord
 
 	// phaseHooks run synchronously in the JM process at each phase entry of
 	// each migration attempt — the anchor fault injection hangs off.
@@ -259,6 +309,8 @@ type migrationState struct {
 	phase           int             // 1..4, last phase entered
 	aborted         bool            // this attempt was torn down
 	recorded        bool            // terminal AttemptRecord appended
+	retries         int             // spare retries already spent on this trigger's chain
+	startedAt       sim.Time        // first attempt's start (carried across retries)
 	poolOutstanding int64           // agg-pool chunks unreturned at transfer end; -1 unknown
 	srcVacated      bool            // source procs removed (post-PIIC point)
 	restartSpawned  bool            // target NLA saw FTB_RESTART
@@ -363,7 +415,56 @@ func LaunchApp(c *cluster.Cluster, name string, placement []string, segs func(ra
 	}
 	fw.jm = newJobManager(fw)
 	fw.trigger = c.FTB.Connect(c.Login.Name, "migration-trigger")
+	if fw.opts.AutoPolicy {
+		// Recoveries under AutoPolicy can break links beneath live traffic;
+		// the runtime must survive send errors instead of panicking.
+		fw.W.SetFaultTolerant(true)
+		fw.startPolicyCheckpoints()
+	}
 	return fw
+}
+
+// startPolicyCheckpoints runs the strategy's periodic checkpoint cadence: at
+// every interval the strategy is offered an EvTick and a Checkpoint decision
+// takes a coordinated full-job checkpoint (PVFS when the cluster has one —
+// node-local images die with their node — else ext3). Intervals where a
+// migration or checkpoint is already in flight are skipped, not queued: the
+// next tick covers them.
+func (fw *Framework) startPolicyCheckpoints() {
+	interval := fw.opts.CkptInterval
+	if interval == 0 {
+		interval = fw.opts.Strategy.CheckpointInterval()
+	}
+	if interval <= 0 {
+		return
+	}
+	fw.C.E.Spawn("core.policy-ckpt", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if fw.W.Done() || fw.jm.JobLost {
+				return
+			}
+			if fw.current != nil || fw.ckptActive || fw.recovering {
+				continue
+			}
+			for _, d := range fw.opts.Strategy.Decide(fw.jm.view(nil), strategy.Event{Kind: strategy.EvTick}) {
+				if d.Kind != strategy.Checkpoint {
+					continue
+				}
+				target := cr.Ext3
+				if fw.C.PVFS != nil {
+					target = cr.PVFS
+				}
+				if _, err := fw.Checkpoint(p, target); err != nil {
+					fw.jm.CkptFailures++
+					p.Trace("core.policy", "periodic checkpoint failed: "+err.Error())
+				} else {
+					fw.jm.PolicyCheckpoints++
+				}
+				break
+			}
+		}
+	})
 }
 
 func (fw *Framework) addNLA(n *cluster.Node, st NLAState) {
@@ -438,6 +539,9 @@ func (fw *Framework) Checkpoint(p *sim.Proc, target cr.Target) (*metrics.Report,
 	if fw.ckptActive {
 		return nil, fmt.Errorf("core: checkpoint already in progress")
 	}
+	if fw.recovering {
+		return nil, fmt.Errorf("core: checkpoint while a recovery owns the suspension")
+	}
 	fw.ckptActive = true
 	defer func() { fw.ckptActive = false }()
 	var span obs.SpanID
@@ -446,10 +550,19 @@ func (fw *Framework) Checkpoint(p *sim.Proc, target cr.Target) (*metrics.Report,
 		span = c.StartSpan(p.Now(), fmt.Sprintf("checkpoint(%s)", target), "jm", 0)
 	}
 	r := cr.NewRunner(fw.C, fw.W, target, fw.opts.Hash)
-	rep := r.Checkpoint(p)
+	rep, cerr := r.Checkpoint(p)
 	c.EndSpan(p.Now(), span)
-	fw.ckpt = r
+	if cerr == nil {
+		fw.ckpt = r
+		fw.ckptTakenAt = p.Now()
+	}
+	// Publish CKPT_DONE even on failure: deferred migration triggers (and
+	// deferred dead-node reactions) are drained off this event, and a failed
+	// dump must not leave them parked.
 	fw.trigger.Publish(p, ftb.Event{Namespace: ftb.NamespaceMVAPICH, Name: eventCkptDone})
+	if cerr != nil {
+		return rep, cerr
+	}
 	return rep, nil
 }
 

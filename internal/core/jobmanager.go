@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"time"
 
+	"ibmig/internal/blcr"
 	"ibmig/internal/cluster"
 	"ibmig/internal/ftb"
 	"ibmig/internal/health"
 	"ibmig/internal/metrics"
+	"ibmig/internal/mpi"
+	"ibmig/internal/obs"
+	"ibmig/internal/payload"
 	"ibmig/internal/sim"
+	"ibmig/internal/strategy"
 )
 
 // maxRestartResends bounds how often a stalled Phase 3 is retried by
@@ -53,9 +58,40 @@ type JobManager struct {
 	CRFallbacks       int // full-job restarts from the last checkpoint
 	RestartResends    int // lost FTB_RESTART events re-published
 
+	// Strategy-layer counters.
+	SpareExhaustions  int // triggers terminated for want of spares or retry budget
+	ReactiveRestarts  int // autonomous full-job restarts after a node death
+	ReplicaRestores   int // node deaths recovered from a staged hot replica
+	ReplicasStaged    int // hot replicas staged on shadow spares
+	PolicyCheckpoints int // periodic checkpoints taken by the policy loop
+	CkptFailures      int // checkpoints (policy or user) that errored
+
+	// TerminalReason records why the most recent trigger ended without a
+	// completed migration (strategy.ReasonSpareExhausted / ReasonRetryBudget).
+	TerminalReason string
+
 	// JobLost is set when recovery is impossible: the source died without a
 	// prior Framework.Checkpoint (or the fallback restore itself failed).
 	JobLost bool
+
+	// warns counts sensor warnings per node (AutoPolicy strategy input).
+	warns map[string]int
+	// shadows maps a protected node to its staged hot replica.
+	shadows map[string]*replica
+	// deferredDead queues node deaths that arrived while a migration or
+	// checkpoint owned the suspension protocol; they are served afterwards.
+	deferredDead []string
+}
+
+// replica is a hot standby image set for one protected node, staged on a
+// shadow spare (the FTHP-MPI-style policy). Images are fuzzy snapshots of the
+// running ranks held in the shadow's memory.
+type replica struct {
+	node     string // the protected primary
+	host     string // the shadow spare holding the images
+	images   map[int]payload.Buffer
+	stagedAt sim.Time
+	ready    bool
 }
 
 func newJobManager(fw *Framework) *JobManager {
@@ -64,6 +100,8 @@ func newJobManager(fw *Framework) *JobManager {
 		client:    fw.C.FTB.Connect(fw.C.Login.Name, "job-manager"),
 		spawnTree: make(map[string]string),
 		unhealthy: make(map[string]bool),
+		warns:     make(map[string]int),
+		shadows:   make(map[string]*replica),
 	}
 	for _, n := range fw.C.Compute {
 		jm.spawnTree[n.Name] = fw.C.Login.Name
@@ -87,6 +125,13 @@ func (jm *JobManager) loop(p *sim.Proc, sub *ftb.Subscription) {
 		case ev.Namespace == health.NamespacePred && ev.Name == health.EventFailurePredicted:
 			if node, isStr := ev.Payload.(string); isStr {
 				jm.unhealthy[node] = true
+				if jm.fw.opts.AutoPolicy {
+					jm.onPredicted(p, node)
+				}
+			}
+		case ev.Namespace == health.NamespaceIPMI && ev.Name == health.EventSensorWarn:
+			if r, isReading := ev.Payload.(health.SensorReading); isReading && jm.fw.opts.AutoPolicy {
+				jm.onWarn(p, r.Node)
 			}
 		case ev.Namespace != ftb.NamespaceMVAPICH:
 			// Other namespaces are not ours.
@@ -111,6 +156,7 @@ func (jm *JobManager) loop(p *sim.Proc, sub *ftb.Subscription) {
 			case eventMigrateTimeout:
 				jm.onTimeout(p, ev)
 			case eventCkptDone:
+				jm.drainDeferredDead(p)
 				jm.drainPending(p)
 			}
 		}
@@ -139,6 +185,14 @@ func (jm *JobManager) pickSpare(excluded map[string]bool) string {
 		if excluded[name] || !jm.nodeUsable(name) {
 			continue
 		}
+		if len(jm.shadows) > 0 && jm.isShadowHost(name) {
+			continue // reserved: it holds a hot replica
+		}
+		if len(jm.fw.W.RanksOn(name)) > 0 {
+			// Already carries ranks (rebound by an earlier restore attempt
+			// whose promotion never ran); its PID space is taken.
+			continue
+		}
 		if jm.fw.opts.RestartMode == RestartFile && nla.node.FS.Disk().Failed() {
 			continue
 		}
@@ -155,9 +209,193 @@ func (jm *JobManager) pickSpare(excluded map[string]bool) string {
 	return fallback
 }
 
+// isShadowHost reports whether a spare currently holds a staged replica.
+func (jm *JobManager) isShadowHost(name string) bool {
+	for _, sh := range jm.shadows {
+		if sh.host == name {
+			return true
+		}
+	}
+	return false
+}
+
+// jmView adapts the Job Manager's state to the read-only strategy.View the
+// policy layer consults. m is the aborted attempt for EvAttemptFailed events,
+// nil otherwise.
+type jmView struct {
+	jm *JobManager
+	m  *migrationState
+}
+
+func (v jmView) HasCheckpoint() bool { return v.jm.fw.ckpt != nil }
+
+func (v jmView) SpareAvailable() bool {
+	ex := make(map[string]bool)
+	if v.m != nil {
+		for k := range v.m.excluded {
+			ex[k] = true
+		}
+		ex[v.m.dst] = true
+	}
+	return v.jm.pickSpare(ex) != ""
+}
+
+func (v jmView) SourceUsable() bool {
+	if v.m == nil {
+		return false
+	}
+	return v.jm.nodeUsable(v.m.src) && v.m.failedNode != v.m.src && !v.m.srcVacated
+}
+
+func (v jmView) HostsRanks(node string) bool { return len(v.jm.fw.W.RanksOn(node)) > 0 }
+
+func (v jmView) WarnCount(node string) int { return v.jm.warns[node] }
+
+func (v jmView) HasReplica(node string) bool {
+	sh := v.jm.shadows[node]
+	return sh != nil && sh.ready
+}
+
+func (v jmView) Retries() int {
+	if v.m == nil {
+		return 0
+	}
+	return v.m.retries
+}
+
+func (v jmView) MaxRetries() int { return v.jm.fw.opts.MaxSpareRetries }
+
+func (jm *JobManager) view(m *migrationState) jmView { return jmView{jm: jm, m: m} }
+
+// onPredicted serves a health-predictor failure prediction to the strategy
+// (AutoPolicy only).
+func (jm *JobManager) onPredicted(p *sim.Proc, node string) {
+	ds := jm.fw.opts.Strategy.Decide(jm.view(nil), strategy.Event{Kind: strategy.EvPredicted, Node: node})
+	jm.applyPolicyDecisions(p, node, ds)
+}
+
+// onWarn serves a sensor warning to the strategy (AutoPolicy only).
+func (jm *JobManager) onWarn(p *sim.Proc, node string) {
+	jm.warns[node]++
+	ds := jm.fw.opts.Strategy.Decide(jm.view(nil), strategy.Event{Kind: strategy.EvWarn, Node: node})
+	jm.applyPolicyDecisions(p, node, ds)
+}
+
+// applyPolicyDecisions executes the first feasible proactive decision.
+func (jm *JobManager) applyPolicyDecisions(p *sim.Proc, node string, ds []strategy.Decision) {
+	if jm.JobLost || jm.fw.W.Done() {
+		return
+	}
+	for _, d := range ds {
+		target := d.Node
+		if target == "" {
+			target = node
+		}
+		switch d.Kind {
+		case strategy.Migrate:
+			if len(jm.fw.W.RanksOn(target)) == 0 {
+				continue
+			}
+			if jm.fw.current != nil || jm.fw.ckptActive {
+				jm.pending = append(jm.pending, target)
+				return
+			}
+			jm.startMigration(p, target)
+			return
+		case strategy.StageReplica:
+			jm.stageReplica(p, target)
+			return
+		case strategy.Checkpoint:
+			// Served by the periodic policy loop; nothing to do here.
+			return
+		}
+	}
+}
+
+// stageReplica reserves a shadow spare for node and asynchronously stages a
+// fuzzy snapshot of its ranks there: each rank's image is dumped (without
+// suspending the job) and shipped over the fabric. The reservation is taken
+// synchronously — pickSpare skips shadow hosts — and released on any error.
+func (jm *JobManager) stageReplica(p *sim.Proc, node string) {
+	fw := jm.fw
+	if jm.shadows[node] != nil || !jm.nodeUsable(node) {
+		return
+	}
+	ranks := fw.W.RanksOn(node)
+	if len(ranks) == 0 {
+		return
+	}
+	host := jm.pickSpare(nil)
+	if host == "" {
+		p.Trace("core.jm", "no spare to stage a replica of "+node)
+		return
+	}
+	sh := &replica{node: node, host: host, images: make(map[int]payload.Buffer)}
+	jm.shadows[node] = sh
+	jm.ReplicasStaged++
+	p.Trace("core.jm", fmt.Sprintf("staging replica of %s on %s (%d ranks)", node, host, len(ranks)))
+	fw.C.E.Spawn("core.replica."+node, func(sp *sim.Proc) {
+		var span obs.SpanID
+		c := fw.obsC()
+		if c != nil {
+			span = c.StartSpan(sp.Now(), "replica.stage "+node, "jm", 0)
+			defer func() { c.EndSpan(sp.Now(), span) }()
+		}
+		var total int64
+		for _, r := range ranks {
+			if jm.shadows[node] != sh || !fw.C.NodeAlive(node) {
+				jm.dropShadow(node, sh)
+				return
+			}
+			sink := &blcr.BufferSink{}
+			info, err := blcr.Checkpoint(sp, r.OS, nil, sink, blcr.Options{Hash: fw.opts.Hash})
+			if err != nil {
+				sp.Trace("core.jm", fmt.Sprintf("replica of %s: checkpoint rank %d: %v", node, r.ID(), err))
+				jm.dropShadow(node, sh)
+				return
+			}
+			sh.images[r.ID()] = sink.Buf
+			total += info.Bytes
+		}
+		if err := fw.C.Fabric.Transfer(sp, node, host, total); err != nil {
+			sp.Trace("core.jm", fmt.Sprintf("replica of %s: transfer to %s: %v", node, host, err))
+			jm.dropShadow(node, sh)
+			return
+		}
+		sh.stagedAt = sp.Now()
+		sh.ready = true
+		sp.Trace("core.jm", fmt.Sprintf("replica of %s ready on %s (%d bytes)", node, host, total))
+	})
+}
+
+// dropShadow releases one reservation if it still belongs to sh.
+func (jm *JobManager) dropShadow(node string, sh *replica) {
+	if jm.shadows[node] == sh {
+		delete(jm.shadows, node)
+	}
+}
+
+// dropShadowsOn forgets replicas invalidated by a node death: those
+// protecting the dead node are moot only once restored, but those HOSTED on
+// the dead node are gone, and a dead shadow host frees its reservation.
+func (jm *JobManager) dropShadowsOn(node string) {
+	for protected, sh := range jm.shadows {
+		if sh.host == node {
+			delete(jm.shadows, protected)
+		}
+	}
+}
+
 // startMigration runs Phase 1 and kicks off Phase 2 (paper Fig. 2).
 func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 	fw := jm.fw
+	if jm.JobLost {
+		// The job sits in a frozen suspension; a new migration could never
+		// even stall it.
+		jm.FailedTriggers++
+		jm.fireCompletions()
+		return
+	}
 	dst := jm.pickSpare(nil)
 	srcOK := fw.nlas[src] != nil && fw.nlas[src].State() == StateReady && jm.fw.C.NodeAlive(src)
 	if dst == "" || !srcOK {
@@ -187,6 +425,7 @@ func (jm *JobManager) startMigration(p *sim.Proc, src string) {
 		report:     metrics.NewReport(fmt.Sprintf("migration#%d %s->%s", fw.migrationSeq, src, dst)),
 		phase:      1,
 		excluded:   make(map[string]bool),
+		startedAt:  p.Now(),
 
 		poolOutstanding: -1,
 	}
@@ -281,24 +520,255 @@ func (jm *JobManager) onRestartDone(p *sim.Proc, ev ftb.Event) {
 	jm.finishCycle(p, m, true)
 }
 
-// onNodeDown handles a cluster-monitor NODE_DOWN event.
+// onNodeDown handles a cluster-monitor NODE_DOWN event. A death hitting the
+// current migration's endpoints feeds its recovery; any other death of a
+// rank-hosting node is, under AutoPolicy, served to the strategy (restore
+// from replica, restart from checkpoint, or lose the job) — deferred while a
+// migration or checkpoint owns the suspension protocol.
 func (jm *JobManager) onNodeDown(p *sim.Proc, node string) {
 	jm.unhealthy[node] = true
 	if nla := jm.fw.nlas[node]; nla != nil && nla.State() != StateInactive {
 		nla.setState(StateInactive)
 	}
-	m := jm.fw.current
-	if m == nil || m.aborted {
+	if m := jm.fw.current; m != nil && !m.aborted {
+		switch node {
+		case m.dst:
+			jm.recover(p, m, "target node down")
+			return
+		case m.src:
+			if !m.srcVacated {
+				jm.recover(p, m, "source node down")
+				return
+			}
+			// The source already left the job; its death is moot.
+		}
+	}
+	if !jm.fw.opts.AutoPolicy || jm.JobLost || jm.fw.W.Done() {
 		return
 	}
-	switch node {
-	case m.dst:
-		jm.recover(p, m, "target node down")
-	case m.src:
-		if m.srcVacated {
-			return // the source already left the job; its death is moot
+	jm.dropShadowsOn(node)
+	if len(jm.fw.W.RanksOn(node)) == 0 {
+		return
+	}
+	if jm.fw.current != nil || jm.fw.ckptActive {
+		jm.deferredDead = append(jm.deferredDead, node)
+		return
+	}
+	jm.reactTo(p, node)
+}
+
+// drainDeferredDead serves node deaths queued while the suspension protocol
+// was owned by a migration or checkpoint.
+func (jm *JobManager) drainDeferredDead(p *sim.Proc) {
+	for len(jm.deferredDead) > 0 {
+		if jm.fw.current != nil || jm.fw.ckptActive || jm.JobLost || jm.fw.W.Done() {
+			return
 		}
-		jm.recover(p, m, "source node down")
+		node := jm.deferredDead[0]
+		jm.deferredDead = jm.deferredDead[1:]
+		if len(jm.fw.W.RanksOn(node)) > 0 && !jm.nodeUsable(node) {
+			jm.reactTo(p, node)
+		}
+	}
+}
+
+// reactTo recovers from the death of a rank-hosting node outside any
+// migration: suspend the survivors, apply the strategy's decisions in
+// preference order (replica restore, then checkpoint restart, as offered),
+// and resume. When nothing works the job is lost and stays frozen.
+func (jm *JobManager) reactTo(p *sim.Proc, node string) {
+	fw := jm.fw
+	ds := fw.opts.Strategy.Decide(jm.view(nil), strategy.Event{Kind: strategy.EvNodeDown, Node: node})
+	if len(ds) == 0 {
+		return
+	}
+	// The recovery owns the suspension protocol until it resolves; the
+	// policy-checkpoint loop (and any Checkpoint caller) must stand down.
+	fw.recovering = true
+	defer func() { fw.recovering = false }()
+	start := p.Now()
+	var span obs.SpanID
+	c := fw.obsC()
+	if c != nil {
+		span = c.StartSpan(start, "recovery."+node, "jm", 0)
+	}
+	p.Trace("core.jm", fmt.Sprintf("reacting to death of %s (%d ranks)", node, len(fw.W.RanksOn(node))))
+	sus := fw.W.BeginSuspend()
+	sus.WaitAllDrained(p)
+	sus.CompleteTeardown()
+	sus.WaitAllSuspended(p)
+	for _, d := range ds {
+		switch d.Kind {
+		case strategy.RestoreReplica:
+			if rework, ok := jm.tryRestoreReplica(p, node); ok {
+				jm.finishRecovery(p, sus, c, span, "replica", node, start, rework)
+				return
+			}
+		case strategy.RestartCR:
+			if rework, ok := jm.tryReactiveRestart(p); ok {
+				jm.finishRecovery(p, sus, c, span, "reactive-cr", node, start, rework)
+				return
+			}
+		case strategy.Abandon:
+			jm.loseJob(p, c, span, node, start, "strategy abandoned after the death of "+node)
+			return
+		}
+	}
+	jm.loseJob(p, c, span, node, start, "no recovery path for the death of "+node)
+}
+
+// finishRecovery promotes the hosting nodes, resumes the job and records the
+// action.
+func (jm *JobManager) finishRecovery(p *sim.Proc, sus *mpi.Suspension, c *obs.Collector, span obs.SpanID, kind, node string, start sim.Time, rework sim.Duration) {
+	jm.promoteHosts()
+	sus.Resume()
+	sus.WaitAllResumed(p)
+	end := p.Now()
+	if c != nil {
+		c.SpanAttr(span, "kind", kind)
+		c.EndSpan(end, span)
+	}
+	p.Trace("core.jm", fmt.Sprintf("recovered from death of %s via %s (rework %v)", node, kind, rework))
+	jm.fw.Recoveries = append(jm.fw.Recoveries, RecoveryRecord{
+		Kind: kind, Node: node, Start: start, End: end, Rework: rework, Ok: true,
+	})
+	jm.drainDeferredDead(p)
+	jm.drainPending(p)
+}
+
+// loseJob abandons the job outside any migration: the suspension stays
+// frozen (there is nothing consistent to resume into) and every outstanding
+// trigger completion fires so waiters are not stranded.
+func (jm *JobManager) loseJob(p *sim.Proc, c *obs.Collector, span obs.SpanID, node string, start sim.Time, reason string) {
+	jm.JobLost = true
+	end := p.Now()
+	if c != nil {
+		c.SpanAttr(span, "job_lost", reason)
+		c.EndSpan(end, span)
+	}
+	p.Trace("core.jm", "job lost — "+reason)
+	jm.fw.Recoveries = append(jm.fw.Recoveries, RecoveryRecord{
+		Kind: "abandon", Node: node, Start: start, End: end, Ok: false,
+	})
+	for len(jm.completionWaiters) > 0 {
+		jm.fireCompletions()
+	}
+	jm.pending = nil
+	jm.deferredDead = nil
+}
+
+// tryReactiveRestart restores the whole job from the last checkpoint, ranks
+// of unusable nodes placed onto fresh spares. The job must be suspended.
+func (jm *JobManager) tryReactiveRestart(p *sim.Proc) (sim.Duration, bool) {
+	fw := jm.fw
+	if fw.ckpt == nil {
+		return 0, false
+	}
+	if !jm.restoreWithRetry(p, nil) {
+		return 0, false
+	}
+	jm.ReactiveRestarts++
+	return p.Now().Sub(fw.ckptTakenAt), true
+}
+
+// restoreWithRetry drives Checkpointer.RestartInPlace until it sticks: a
+// destination can die while images stream in (the restore windows are long),
+// in which case the placement is recomputed against the now-smaller cluster
+// and the restore redone from the persistent images, bounded by the spare
+// retry budget. used seeds the placement's exclusion set. Returns false when
+// the budget or the spare pool runs out.
+func (jm *JobManager) restoreWithRetry(p *sim.Proc, used map[string]bool) bool {
+	for attempt := 0; ; attempt++ {
+		seed := make(map[string]bool, len(used))
+		for k := range used {
+			seed[k] = true
+		}
+		placement, ok := jm.placeLostRanks(seed)
+		if !ok {
+			return false
+		}
+		err := jm.fw.ckpt.RestartInPlace(p, placement)
+		if err == nil {
+			return true
+		}
+		p.Trace("core.jm", fmt.Sprintf("restore attempt %d failed: %v", attempt+1, err))
+		if attempt >= jm.fw.opts.MaxSpareRetries {
+			return false
+		}
+	}
+}
+
+// tryRestoreReplica restarts a dead node's ranks from their staged hot
+// replica on the shadow spare. The job must be suspended. A partial failure
+// leaves state for the checkpoint fallthrough to overwrite wholesale.
+func (jm *JobManager) tryRestoreReplica(p *sim.Proc, node string) (sim.Duration, bool) {
+	fw := jm.fw
+	sh := jm.shadows[node]
+	if sh == nil || !sh.ready || !jm.nodeUsable(sh.host) {
+		return 0, false
+	}
+	host := fw.C.Node(sh.host)
+	for _, r := range fw.W.RanksOn(node) {
+		img, have := sh.images[r.ID()]
+		if !have {
+			delete(jm.shadows, node)
+			return 0, false
+		}
+		if n := fw.C.Node(r.Node()); n != nil {
+			n.Procs.Remove(r.OS.PID)
+		}
+		restored, err := blcr.Restart(p, &blcr.BufferSource{Buf: img}, host.Procs, blcr.RestartOptions{Verify: fw.opts.Hash})
+		if err != nil {
+			p.Trace("core.jm", fmt.Sprintf("replica restore of rank %d failed: %v", r.ID(), err))
+			delete(jm.shadows, node)
+			return 0, false
+		}
+		fw.W.Rebind(r.ID(), sh.host, restored)
+	}
+	rework := p.Now().Sub(sh.stagedAt)
+	delete(jm.shadows, node)
+	jm.ReplicaRestores++
+	return rework, true
+}
+
+// placeLostRanks maps every rank on an unusable node to a fresh spare (1:1
+// per lost node), reporting failure when the pool runs dry. used seeds the
+// exclusion set and accumulates the picks.
+func (jm *JobManager) placeLostRanks(used map[string]bool) (map[int]string, bool) {
+	if used == nil {
+		used = make(map[string]bool)
+	}
+	placement := make(map[int]string)
+	spareFor := make(map[string]string)
+	for _, r := range jm.fw.W.Ranks() {
+		node := r.Node()
+		if jm.nodeUsable(node) {
+			continue
+		}
+		sp, have := spareFor[node]
+		if !have {
+			sp = jm.pickSpare(used)
+			if sp == "" {
+				return nil, false
+			}
+			spareFor[node] = sp
+			used[sp] = true
+		}
+		placement[r.ID()] = sp
+	}
+	return placement, true
+}
+
+// promoteHosts marks every node hosting ranks as an active primary.
+func (jm *JobManager) promoteHosts() {
+	hosts := make(map[string]bool)
+	for _, r := range jm.fw.W.Ranks() {
+		hosts[r.Node()] = true
+	}
+	for _, nla := range jm.fw.nlaList {
+		if hosts[nla.node.Name] && nla.State() != StateReady {
+			nla.setState(StateReady)
+		}
 	}
 }
 
@@ -361,10 +831,14 @@ func (jm *JobManager) watchAttempt(m *migrationState) {
 //     FTB_RESTART (or its DONE) was lost: re-publish it, bounded times.
 //  2. Otherwise abort the attempt: release the buffer pool, deregister MRs,
 //     close QPs, discard partial images, and retire unusable nodes' NLAs.
-//  3. Source still healthy and not yet vacated — retry onto the next usable
-//     spare (the burned one excluded); with no spare left, resume in place.
-//  4. Source dead or vacated (the images moved with it) — full-job CR
-//     fallback from the last checkpoint, lost nodes replaced by spares.
+//  3. Consult the strategy (EvAttemptFailed) and apply its decisions in
+//     preference order, falling through when one is infeasible: retry onto
+//     the next usable spare (bounded by MaxSpareRetries, paced by
+//     RetryBackoff), resume in place, restore from the last checkpoint, or
+//     abandon. Under the default ProactiveMigrate strategy this reproduces
+//     the historical tree exactly: spare retry while the source is healthy,
+//     resume in place when spares run out, CR fallback when the source is
+//     gone.
 func (jm *JobManager) recover(p *sim.Proc, m *migrationState, reason string) {
 	fw := jm.fw
 	if fw.current != m || m.aborted {
@@ -394,18 +868,49 @@ func (jm *JobManager) recover(p *sim.Proc, m *migrationState, reason string) {
 			nla.setState(StateInactive)
 		}
 	}
-	if jm.nodeUsable(m.src) && m.failedNode != m.src && !m.srcVacated {
-		m.excluded[m.dst] = true
-		if dst := jm.pickSpare(m.excluded); dst != "" {
+	ds := fw.opts.Strategy.Decide(jm.view(m), strategy.Event{
+		Kind:   strategy.EvAttemptFailed,
+		Node:   m.failedNode,
+		Seq:    m.seq,
+		Phase:  m.phase,
+		Reason: reason,
+	})
+	for _, d := range ds {
+		switch d.Kind {
+		case strategy.RetrySpare:
+			m.excluded[m.dst] = true
+			dst := jm.pickSpare(m.excluded)
+			if dst == "" {
+				continue // no spare after all; fall through
+			}
 			jm.SpareRetries++
 			m.report.Extra["spare_retries"]++
+			if delay := fw.opts.RetryBackoff.Delay(m.retries + 1); delay > 0 {
+				p.Trace("core.jm", fmt.Sprintf("migration #%d: retry backoff %v", m.seq, delay))
+				p.Sleep(delay)
+			}
 			jm.startRetry(p, m, dst)
 			return
+		case strategy.ResumeInPlace:
+			if d.Reason != "" {
+				jm.SpareExhaustions++
+				jm.TerminalReason = d.Reason
+				p.Trace("core.jm", fmt.Sprintf("migration #%d: %s, resuming in place", m.seq, d.Reason))
+			} else {
+				p.Trace("core.jm", fmt.Sprintf("migration #%d: resuming in place", m.seq))
+			}
+			jm.resumeInPlace(p, m)
+			return
+		case strategy.RestartCR:
+			jm.crFallback(p, m)
+			return
+		case strategy.Abandon:
+			jm.abandon(p, m, "strategy abandoned: "+reason)
+			return
 		}
-		p.Trace("core.jm", fmt.Sprintf("migration #%d: no spare remains, resuming in place", m.seq))
-		jm.resumeInPlace(p, m)
-		return
 	}
+	// A strategy returning nothing applicable still must not leave the job
+	// frozen: the CR fallback abandons cleanly when no checkpoint exists.
 	jm.crFallback(p, m)
 }
 
@@ -431,6 +936,8 @@ func (jm *JobManager) startRetry(p *sim.Proc, prev *migrationState, dst string) 
 		watch:      prev.watch,
 		phase:      2,
 		excluded:   prev.excluded,
+		retries:    prev.retries + 1,
+		startedAt:  prev.startedAt,
 
 		poolOutstanding: -1,
 	}
@@ -464,6 +971,9 @@ func (jm *JobManager) resumeInPlace(p *sim.Proc, m *migrationState) {
 	m.endAttempt(jm.fw.obsC(), p.Now())
 	// The processes never moved; the original images are intact.
 	jm.fw.lastVerified = true
+	jm.fw.Recoveries = append(jm.fw.Recoveries, RecoveryRecord{
+		Kind: "resume-in-place", Node: m.src, Start: m.startedAt, End: p.Now(), Ok: true,
+	})
 	jm.finishCycle(p, m, false)
 }
 
@@ -479,51 +989,28 @@ func (jm *JobManager) crFallback(p *sim.Proc, m *migrationState) {
 		jm.abandon(p, m, "source lost and no checkpoint exists")
 		return
 	}
-	placement := make(map[int]string)
 	used := make(map[string]bool)
 	for k := range m.excluded {
 		used[k] = true
 	}
-	spareFor := make(map[string]string)
-	for _, r := range fw.W.Ranks() {
-		node := r.Node()
-		if jm.nodeUsable(node) {
-			continue
-		}
-		sp, have := spareFor[node]
-		if !have {
-			sp = jm.pickSpare(used)
-			if sp == "" {
-				jm.abandon(p, m, "not enough spares for CR fallback")
-				return
-			}
-			spareFor[node] = sp
-			used[sp] = true
-		}
-		placement[r.ID()] = sp
-	}
-	p.Trace("core.jm", fmt.Sprintf("migration #%d: CR fallback (%d ranks relocated)", m.seq, len(placement)))
+	p.Trace("core.jm", fmt.Sprintf("migration #%d: CR fallback", m.seq))
 	m.beginPhase(fw.obsC(), p.Now(), "cr-fallback")
-	if err := fw.ckpt.RestartInPlace(p, placement); err != nil {
-		jm.abandon(p, m, "CR fallback failed: "+err.Error())
+	if !jm.restoreWithRetry(p, used) {
+		jm.abandon(p, m, "CR fallback failed: spares or retries exhausted")
 		return
 	}
 	// Every node hosting ranks again is an active primary.
-	hosts := make(map[string]bool)
-	for _, r := range fw.W.Ranks() {
-		hosts[r.Node()] = true
-	}
-	for _, nla := range fw.nlaList {
-		if hosts[nla.node.Name] && nla.State() != StateReady {
-			nla.setState(StateReady)
-		}
-	}
+	jm.promoteHosts()
 	m.watch.Lap("CR Fallback", p.Now())
 	m.sus.Resume()
 	m.sus.WaitAllResumed(p)
 	m.watch.Lap(metrics.PhaseResume, p.Now())
 	m.endAttempt(fw.obsC(), p.Now())
 	jm.fw.lastVerified = fw.ckpt.Verified
+	fw.Recoveries = append(fw.Recoveries, RecoveryRecord{
+		Kind: "cr-fallback", Node: m.src, Start: m.startedAt, End: p.Now(),
+		Rework: p.Now().Sub(fw.ckptTakenAt), Ok: true,
+	})
 	jm.finishCycle(p, m, false)
 }
 
@@ -540,8 +1027,15 @@ func (jm *JobManager) abandon(p *sim.Proc, m *migrationState, reason string) {
 	jm.fw.recordAttempt(m, false)
 	jm.fw.Reports = append(jm.fw.Reports, m.report)
 	jm.fw.current = nil
+	jm.fw.Recoveries = append(jm.fw.Recoveries, RecoveryRecord{
+		Kind: "abandon", Node: m.src, Start: m.startedAt, End: p.Now(), Ok: false,
+	})
 	m.finished.Fire()
-	jm.fireCompletions()
+	for len(jm.completionWaiters) > 0 {
+		jm.fireCompletions()
+	}
+	jm.pending = nil
+	jm.deferredDead = nil
 }
 
 // finishCycle closes out a migration cycle (successful or recovered).
@@ -552,9 +1046,13 @@ func (jm *JobManager) finishCycle(p *sim.Proc, m *migrationState, completed bool
 	fw.current = nil
 	if completed {
 		jm.MigrationsDone++
+		fw.Recoveries = append(fw.Recoveries, RecoveryRecord{
+			Kind: "migrate", Node: m.src, Start: m.startedAt, End: p.Now(), Ok: true,
+		})
 	}
 	m.finished.Fire()
 	jm.fireCompletions()
+	jm.drainDeferredDead(p)
 	jm.drainPending(p)
 }
 

@@ -81,8 +81,12 @@ func ckptName(rank int) string { return fmt.Sprintf("ckpt.%d", rank) }
 
 // Checkpoint performs one coordinated checkpoint of the whole job, returning
 // a report with the Job Stall, Checkpoint and Resume phases and the total
-// data volume (Table I's CR column).
-func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
+// data volume (Table I's CR column). On a storage error (failed disk,
+// unreachable PVFS server) the job is still resumed — a failed checkpoint
+// must never leave the application suspended — the runner's image set is
+// invalidated (a half-written snapshot must not be restartable), and the
+// first error is returned alongside the partial report.
+func (r *Runner) Checkpoint(p *sim.Proc) (*metrics.Report, error) {
 	rep := metrics.NewReport(fmt.Sprintf("CR(%s) checkpoint", r.Target))
 	watch := metrics.NewStopwatch(rep, p.Now())
 	r.sums = make(map[int]uint64)
@@ -98,7 +102,15 @@ func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
 
 	// Checkpoint: every rank's C/R thread dumps its image. In the default
 	// mode all ranks on a node write concurrently (interleaving streams on
-	// the device); with Aggregate, a per-node writer serializes them.
+	// the device); with Aggregate, a per-node writer serializes them. The
+	// engine is single-threaded, so the children can share firstErr without
+	// locking.
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if r.Aggregate {
 		byNode := make(map[string][]*mpi.Rank)
 		var nodeOrder []string
@@ -115,7 +127,9 @@ func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
 			p.SpawnChild("cr.aggwriter."+node, func(cp *sim.Proc) {
 				defer wg.Done()
 				for _, rk := range byNode[node] {
-					rep.BytesMoved += r.checkpointRank(cp, rk)
+					n, err := r.checkpointRank(cp, rk)
+					rep.BytesMoved += n
+					keep(err)
 				}
 			})
 		}
@@ -128,24 +142,32 @@ func (r *Runner) Checkpoint(p *sim.Proc) *metrics.Report {
 			rk := rk
 			p.SpawnChild(fmt.Sprintf("cr.ckpt.%d", rk.ID()), func(cp *sim.Proc) {
 				defer wg.Done()
-				rep.BytesMoved += r.checkpointRank(cp, rk)
+				n, err := r.checkpointRank(cp, rk)
+				rep.BytesMoved += n
+				keep(err)
 			})
 		}
 		wg.Wait(p)
 	}
 	watch.Lap(metrics.PhaseCkpt, p.Now())
 
-	// Resume: identical machinery to migration Phase 4.
+	// Resume: identical machinery to migration Phase 4 — even after an
+	// error, so a failed checkpoint never leaves the job suspended.
 	s.Resume()
 	s.WaitAllResumed(p)
 	watch.Lap(metrics.PhaseResume, p.Now())
-	return rep
+	if firstErr != nil {
+		// A partial image set must not be restartable.
+		r.sums, r.files, r.nodes = nil, nil, nil
+		return rep, firstErr
+	}
+	return rep, nil
 }
 
 // checkpointRank dumps one rank's image to the target storage (and syncs it
 // on ext3 — a checkpoint that only exists in the page cache is worthless),
 // returning the stream size.
-func (r *Runner) checkpointRank(cp *sim.Proc, rk *mpi.Rank) int64 {
+func (r *Runner) checkpointRank(cp *sim.Proc, rk *mpi.Rank) (int64, error) {
 	if c := obs.Get(r.C.E); c != nil {
 		span := c.StartSpan(cp.Now(), fmt.Sprintf("cr.ckpt.rank%d", rk.ID()), rk.Node()+"/cr", 0)
 		defer func() { c.EndSpan(cp.Now(), span) }()
@@ -171,9 +193,9 @@ func (r *Runner) checkpointRank(cp *sim.Proc, rk *mpi.Rank) int64 {
 		h.Close()
 	}
 	if err != nil {
-		panic(fmt.Sprintf("cr: checkpoint rank %d: %v", rk.ID(), err))
+		return 0, fmt.Errorf("cr: checkpoint rank %d: %w", rk.ID(), err)
 	}
-	return info.Bytes
+	return info.Bytes, nil
 }
 
 // Restart measures restarting the whole job from the last checkpoint, as
@@ -331,6 +353,14 @@ func (r *Runner) RestartInPlace(p *sim.Proc, placement map[int]string) error {
 				}
 				return
 			}
+			// The node may have died while the image streamed in; rebinding the
+			// rank onto it would wedge the resume against a dead adapter.
+			if !r.C.NodeAlive(node) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cr: node %s died during restart of rank %d", node, rk.ID())
+				}
+				return
+			}
 			if r.Hash && restored.Checksum() != r.sums[rk.ID()] {
 				r.Verified = false
 			}
@@ -344,7 +374,10 @@ func (r *Runner) RestartInPlace(p *sim.Proc, placement map[int]string) error {
 // FullCycle checkpoints and then measures the restart, returning the
 // combined four-phase report (the paper's "complete CR cycle").
 func (r *Runner) FullCycle(p *sim.Proc) *metrics.Report {
-	rep := r.Checkpoint(p)
+	rep, err := r.Checkpoint(p)
+	if err != nil {
+		panic("cr: " + err.Error())
+	}
 	rep.Label = fmt.Sprintf("CR(%s) full cycle", r.Target)
 	rep.Add(metrics.PhaseRestart, r.Restart(p))
 	return rep

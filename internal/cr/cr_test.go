@@ -103,7 +103,12 @@ func TestPVFSSlowerThanExt3UnderContention(t *testing.T) {
 		e.Spawn("ctl", func(p *sim.Proc) {
 			fw.W.WaitReady(p)
 			p.Sleep(20 * time.Millisecond)
-			rep := cr.NewRunner(c, fw.W, target, false).Checkpoint(p)
+			rep, err := cr.NewRunner(c, fw.W, target, false).Checkpoint(p)
+			if err != nil {
+				t.Error(err)
+				e.Stop()
+				return
+			}
 			d = rep.Phase(metrics.PhaseCkpt)
 			fw.W.WaitDone(p)
 			e.Stop()

@@ -37,6 +37,17 @@ const (
 	// FTBDelay holds the next published FTB event with the given name for
 	// Delay before delivering it.
 	FTBDelay
+	// RackFail is a correlated failure: every node in the victim's rack
+	// (switch domain, cluster.RackMembers) crashes at the same instant — a
+	// rack PDU or top-of-rack switch loss. Without rack topology it
+	// degenerates to a single NodeCrash.
+	RackFail
+	// LinkFlap repeatedly downs and restores a node's IB link on a
+	// deterministic schedule: Flaps cycles of (fail, hold Delay, recover,
+	// hold Gap). Connections broken while the link is down stay broken —
+	// the retry paths in ib/mpi must rebuild them. A flap never resurrects
+	// the adapter of a node that has crashed in the meantime.
+	LinkFlap
 )
 
 func (k Kind) String() string {
@@ -51,18 +62,28 @@ func (k Kind) String() string {
 		return "ftb-drop"
 	case FTBDelay:
 		return "ftb-delay"
+	case RackFail:
+		return "rack-fail"
+	case LinkFlap:
+		return "link-flap"
 	}
 	return "unknown"
 }
 
 // Spec describes one fault. Node names the victim for NodeCrash / HCAFail /
-// DiskFail; Event names the FTB event for FTBDrop / FTBDelay; Delay is the
-// hold time for FTBDelay.
+// DiskFail / RackFail / LinkFlap; Event names the FTB event for FTBDrop /
+// FTBDelay; Delay is the hold time for FTBDelay and the link-down time per
+// LinkFlap cycle; Flaps and Gap shape the LinkFlap schedule.
 type Spec struct {
 	Kind  Kind
 	Node  string
 	Event string
 	Delay sim.Duration
+
+	// Flaps is the number of down/up cycles for LinkFlap (default 3).
+	Flaps int
+	// Gap is the link-up hold between LinkFlap cycles (default 30ms).
+	Gap sim.Duration
 }
 
 func (sp Spec) String() string {
@@ -154,7 +175,57 @@ func (in *Injector) Apply(p *sim.Proc, sp Spec) {
 	case FTBDelay:
 		in.delays[sp.Event] = sp.Delay
 		in.arm()
+	case RackFail:
+		members := in.c.RackMembers(sp.Node)
+		if len(members) == 0 {
+			panic("fault: unknown node " + sp.Node)
+		}
+		for _, name := range members {
+			if name == in.c.Login.Name {
+				continue
+			}
+			in.c.KillNode(p, name)
+		}
+	case LinkFlap:
+		in.startFlap(sp)
 	}
+}
+
+// startFlap runs one LinkFlap schedule in its own process: Flaps cycles of
+// (HCA down, hold Delay, HCA up, hold Gap), all on the virtual clock. The
+// flapping stops — leaving the adapter down — if the node crashes outright
+// mid-schedule: a dead node's link must not come back.
+func (in *Injector) startFlap(sp Spec) {
+	node := in.node(sp.Node)
+	flaps := sp.Flaps
+	if flaps <= 0 {
+		flaps = 3
+	}
+	down := sp.Delay
+	if down <= 0 {
+		down = 50 * 1e6 // 50ms
+	}
+	gap := sp.Gap
+	if gap <= 0 {
+		gap = 30 * 1e6 // 30ms
+	}
+	in.nAt++
+	in.c.E.Spawn(fmt.Sprintf("fault.flap.%s.%d", sp.Node, in.nAt), func(p *sim.Proc) {
+		for i := 0; i < flaps; i++ {
+			if !in.c.NodeAlive(sp.Node) {
+				return
+			}
+			node.HCA.Fail()
+			p.Trace("fault.flap", fmt.Sprintf("%s link down (%d/%d)", sp.Node, i+1, flaps))
+			p.Sleep(down)
+			if !in.c.NodeAlive(sp.Node) {
+				return
+			}
+			node.HCA.Recover()
+			p.Trace("fault.flap", fmt.Sprintf("%s link up (%d/%d)", sp.Node, i+1, flaps))
+			p.Sleep(gap)
+		}
+	})
 }
 
 func (in *Injector) node(name string) *cluster.Node {

@@ -165,6 +165,13 @@ func (h *HCA) Fail() {
 	}
 }
 
+// Recover brings a failed adapter back up, modelling a link that flaps
+// rather than dies: new registrations and connections succeed again. State
+// destroyed by the failure stays destroyed — MRs registered before the
+// failure remain invalid and broken QPs stay broken; endpoints must be
+// rebuilt, exactly as after a real port bounce. Idempotent.
+func (h *HCA) Recover() { h.failed = false }
+
 // Node returns the owning node's name.
 func (h *HCA) Node() string { return h.node }
 
@@ -296,6 +303,12 @@ func (q *QP) err() error {
 
 // Open reports whether the endpoint is usable.
 func (q *QP) Open() bool { return q.open }
+
+// Broken reports whether a verbs call on this endpoint would fail right now
+// (either endpoint closed or either adapter down) — the health probe the
+// fault-tolerant MPI send path uses to decide whether a connection must be
+// rebuilt.
+func (q *QP) Broken() bool { return q.err() != nil }
 
 // Node returns the local node name.
 func (q *QP) Node() string { return q.hca.node }

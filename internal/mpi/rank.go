@@ -148,20 +148,123 @@ func (r *Rank) SendData(to, tag int, data payload.Buffer) {
 	}
 	c := r.conns[to]
 	if c == nil {
+		if r.w.ftMode {
+			r.sendFT(to, ib.Message{Meta: wireHdr{From: r.id, Tag: tag}, MetaSize: wireHdrSize, Data: data})
+			return
+		}
 		panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.id, to))
 	}
-	r.beginOp()
-	defer r.endOp()
 	m := ib.Message{Meta: wireHdr{From: r.id, Tag: tag}, MetaSize: wireHdrSize, Data: data}
-	var err error
-	if data.Size() <= r.w.cfg.EagerThreshold {
-		err = c.qp.PostSend(m)
-	} else {
-		err = c.qp.Send(r.p, m)
-	}
+	r.beginOp()
+	err := r.trySend(c, m)
+	r.endOp()
 	if err != nil {
+		if r.w.ftMode {
+			r.sendFT(to, m)
+			return
+		}
 		panic(fmt.Sprintf("mpi: rank %d send to %d: %v", r.id, to, err))
 	}
+}
+
+// trySend pushes one message down a connection (eager or rendezvous). In
+// fault-tolerant mode even eager messages go out synchronously: PostSend
+// returns "once posted", so a message in flight when a link breaks would be
+// lost without the sender ever learning — and a lost message between two
+// surviving ranks wedges the receiver forever (restarts here are
+// continuations, never rewinds). The synchronous path rechecks the
+// connection after the wire transfer and hands the error back, turning
+// every loss into a retriable failure on the sender's own process.
+func (r *Rank) trySend(c *conn, m ib.Message) error {
+	if !r.w.ftMode && m.Data.Size() <= r.w.cfg.EagerThreshold {
+		return c.qp.PostSend(m)
+	}
+	return c.qp.Send(r.p, m)
+}
+
+// ftRetryDelay paces fault-tolerant send retries: deterministic, coarse
+// enough that a recovery suspension lands within a few attempts.
+const ftRetryDelay = 5 * 1e6 // 5ms between send retries
+
+// sendFT is the fault-tolerant send path: the first transmission of m
+// failed (broken QP, downed adapter, missing connection). Retry with a
+// deterministic delay, rebuilding the rank-pair connection when both
+// adapters are up. A pending suspension is honoured between attempts — the
+// recovery that fixes the fabric runs while this rank is parked, and the
+// message goes out on the rebuilt connections afterwards (at-least-once
+// across a recovery). The loop never gives up while the peer is alive:
+// dropping a message between two surviving ranks would block the receiver
+// forever, since restarted ranks continue rather than rewind. The message
+// is abandoned (and counted) only when the peer rank has finished — its
+// receives have all completed, so the payload can no longer matter. A
+// permanently broken fabric always comes with either a recovery suspension
+// (which parks this loop) or a lost job (whose frozen suspension parks it
+// for good), so the retry loop cannot spin unboundedly.
+func (r *Rank) sendFT(to int, m ib.Message) {
+	for {
+		if r.suspendReq {
+			r.doSuspend()
+			continue
+		}
+		if r.w.ranks[to].finished {
+			r.w.ftDropped++
+			r.p.Trace("mpi.ft", fmt.Sprintf("rank %d: message to finished rank %d dropped", r.id, to))
+			return
+		}
+		r.p.Sleep(ftRetryDelay)
+		r.reconnectFT(to)
+		c := r.conns[to]
+		if c == nil {
+			continue
+		}
+		r.beginOp()
+		err := r.trySend(c, m)
+		r.endOp()
+		if err == nil {
+			return
+		}
+	}
+}
+
+// reconnectFT rebuilds the connection to peer `to` if it is broken and both
+// ends can carry it. The pair key serializes rebuilds so the two ranks of a
+// pair (or a send retry racing a suspension rebuild) never double-connect.
+func (r *Rank) reconnectFT(to int) {
+	peer := r.w.ranks[to]
+	if peer.finished {
+		return
+	}
+	if c := r.conns[to]; c != nil && !c.qp.Broken() {
+		return
+	}
+	if !r.w.hcaUp(r.node) || !r.w.hcaUp(peer.node) {
+		return
+	}
+	key := [2]int{r.id, to}
+	if to < r.id {
+		key = [2]int{to, r.id}
+	}
+	if r.w.rebuilding[key] {
+		return // the peer is rebuilding this pair; retry next attempt
+	}
+	r.w.rebuilding[key] = true
+	for _, side := range [2]*Rank{r, peer} {
+		other := peer.id
+		if side == peer {
+			other = r.id
+		}
+		if old := side.conns[other]; old != nil {
+			old.mr.Deregister()
+			old.qp.Close()
+			delete(side.conns, other)
+		}
+	}
+	lo, hi := r, peer
+	if hi.id < lo.id {
+		lo, hi = hi, lo
+	}
+	r.w.connectPair(r.p, lo, hi)
+	delete(r.w.rebuilding, key)
 }
 
 func match(m inMsg, from, tag int) bool {
@@ -212,6 +315,15 @@ func (r *Rank) Sendrecv(to, sendTag int, n int64, from, recvTag int) payload.Buf
 // SendrecvData is Sendrecv with an explicit outgoing payload.
 func (r *Rank) SendrecvData(to, sendTag int, data payload.Buffer, from, recvTag int) payload.Buffer {
 	r.poll()
+	if r.w.ftMode {
+		// Inline send-then-receive: ib sends never block on the receiver
+		// (delivery is into an unbounded mailbox), so the exchange cannot
+		// deadlock — and the retry/suspension handling in SendData must run
+		// on the rank's own process, not a helper child.
+		r.SendData(to, sendTag, data)
+		got, _ := r.Recv(from, recvTag)
+		return got
+	}
 	sent := sim.NewEvent(r.w.E)
 	r.beginOp()
 	r.p.SpawnChild(fmt.Sprintf("mpi.sendrecv.%d", r.id), func(sp *sim.Proc) {

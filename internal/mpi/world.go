@@ -69,18 +69,26 @@ type World struct {
 	pmi   *sim.Resource // central job-launch coordinator (endpoint exchange)
 
 	running int
+
+	// ftMode turns send errors from panics into bounded retries with
+	// connection rebuild (see Rank.sendFT) — required when the framework
+	// may fail and recover links underneath a running application.
+	ftMode     bool
+	ftDropped  int64
+	rebuilding map[[2]int]bool // rank pairs with a connection rebuild in flight
 }
 
 // NewWorld creates a world with one rank per placement entry; placement[i] is
 // the node name hosting rank i. Every node must have an HCA on the fabric.
 func NewWorld(e *sim.Engine, fabric *ib.Fabric, placement []string, cfg Config) *World {
 	w := &World{
-		E:      e,
-		fabric: fabric,
-		cfg:    cfg.withDefaults(),
-		ready:  sim.NewEvent(e),
-		done:   sim.NewEvent(e),
-		pmi:    sim.NewResource(e, "mpi.pmi", 1),
+		E:          e,
+		fabric:     fabric,
+		cfg:        cfg.withDefaults(),
+		ready:      sim.NewEvent(e),
+		done:       sim.NewEvent(e),
+		pmi:        sim.NewResource(e, "mpi.pmi", 1),
+		rebuilding: make(map[[2]int]bool),
 	}
 	for i, node := range placement {
 		if fabric.HCA(node) == nil {
@@ -149,6 +157,30 @@ func (w *World) Start(app func(r *Rank)) {
 			})
 		}
 	})
+}
+
+// SetFaultTolerant switches the runtime's reaction to send-path transport
+// errors. Off (the default), a failed verbs call panics — the historical
+// behaviour, correct while every fault arrives with the job globally
+// suspended. On, sends are synchronous end to end (so a message lost on a
+// breaking link surfaces as a sender-side error) and retry on a
+// deterministic cadence, rebuilding the rank-pair connection when possible
+// and honouring a pending suspension mid-retry so a recovery can restore
+// the job under them. A message is abandoned (counted in FTDropped) only
+// when its destination rank has already finished.
+func (w *World) SetFaultTolerant(on bool) { w.ftMode = on }
+
+// FaultTolerant reports whether the fault-tolerant send path is active.
+func (w *World) FaultTolerant() bool { return w.ftMode }
+
+// FTDropped returns the number of messages abandoned because their
+// destination rank had already finished.
+func (w *World) FTDropped() int64 { return w.ftDropped }
+
+// hcaUp reports whether a node's adapter is attached and currently working.
+func (w *World) hcaUp(node string) bool {
+	h := w.fabric.HCA(node)
+	return h != nil && !h.Failed()
 }
 
 // WaitReady blocks until the job is launched.

@@ -1,0 +1,46 @@
+package strategy
+
+import (
+	"time"
+
+	"ibmig/internal/sim"
+)
+
+// Backoff is the deterministic sim-clock backoff applied between spare
+// retries of one trigger: the first retry is immediate (the historical
+// behaviour — the cluster state that doomed the previous attempt has already
+// changed, a fresh spare was picked), and each further retry waits
+// Base*Factor^(n-2), capped, before re-entering Phase 2. Purely a function
+// of the attempt number, so replays are bit-identical.
+type Backoff struct {
+	Base   sim.Duration
+	Factor int
+	Cap    sim.Duration
+}
+
+// DefaultBackoff is the Job Manager's retry backoff when none is configured.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 25 * time.Millisecond, Factor: 2, Cap: 500 * time.Millisecond}
+}
+
+// Delay returns the wait before the n-th retry (n >= 1) of one trigger.
+func (b Backoff) Delay(n int) sim.Duration {
+	if n <= 1 || b.Base <= 0 {
+		return 0
+	}
+	d := b.Base
+	factor := b.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	for i := 2; i < n; i++ {
+		d *= sim.Duration(factor)
+		if b.Cap > 0 && d >= b.Cap {
+			return b.Cap
+		}
+	}
+	if b.Cap > 0 && d > b.Cap {
+		return b.Cap
+	}
+	return d
+}
