@@ -14,6 +14,9 @@
 //   - robustness: head-to-head strategy campaigns (per-strategy goodput and
 //     MTTR under identical fault schedules), so recovery-quality regressions
 //     are tracked next to performance ones
+//   - partitioned scaling: the conservative time-windowed partitioned engine
+//     at the top sweep point — serial full-mesh baseline vs sharded worlds at
+//     increasing worker counts, with wall-clock speedups
 //
 // Usage:
 //
@@ -81,6 +84,19 @@ type Baseline struct {
 
 	SweepScaling []Sweep `json:"sweep_scaling"`
 
+	// PartitionedScaling records the conservative partitioned engine at the
+	// top sweep point: the first point is the serial parts=1 full-mesh
+	// baseline, the rest shard the same workload across `parts` partitions at
+	// each worker count. On a single-core host the speedup comes from the
+	// O((ranks/parts)^2) per-shard connection mesh, not from the workers.
+	PartitionedScaling struct {
+		Kernel     string      `json:"kernel"`
+		Ranks      int         `json:"ranks"`
+		Iterations int         `json:"iterations"`
+		Parts      int         `json:"parts"`
+		Points     []PartPoint `json:"points"`
+	} `json:"partitioned_scaling"`
+
 	// DataPlane records the zero-copy data-plane telemetry: splice/merge
 	// activity and — the headline number — how few bytes the paper-scale
 	// comparison and the largest sweep point ever materialize.
@@ -143,6 +159,17 @@ type Baseline struct {
 	PreOptimization map[string]any `json:"pre_optimization"`
 }
 
+// PartPoint is one point of the partitioned-engine scaling study.
+type PartPoint struct {
+	Parts         int     `json:"parts"`
+	Workers       int     `json:"workers"`
+	WallS         float64 `json:"wall_s"`
+	Events        uint64  `json:"events"`
+	Windows       uint64  `json:"windows"`
+	CrossMessages uint64  `json:"cross_messages"`
+	SpeedupX      float64 `json:"speedup_x"`
+}
+
 // StrategyArm is one strategy's outcome in a robustness campaign.
 type StrategyArm struct {
 	Strategy        string  `json:"strategy"`
@@ -191,6 +218,37 @@ func measureRobustness(b *Baseline, sc exp.Scale) {
 	b.Robustness.WallS = time.Since(start).Seconds()
 	b.Robustness.OnePredicted = armsOf(one)
 	b.Robustness.Burst3 = armsOf(burst)
+}
+
+// measurePartitioned fills the partitioned_scaling section: the top sweep
+// point on the conservative partitioned engine, serial baseline first. The
+// iteration count is trimmed so setup and steady state both show in wall
+// time; it is recorded in the section so points stay comparable across runs.
+func measurePartitioned(b *Baseline, sc exp.Scale, sweepRanks []int) {
+	top := sweepRanks[len(sweepRanks)-1]
+	fmt.Fprintf(os.Stderr, "partitioned engine scaling (%d ranks)...\n", top)
+	iters := 4
+	if top <= 256 {
+		iters = 10
+	}
+	psc := exp.Scale{Class: sc.Class, Ranks: top, PPN: sc.PPN, Seed: sc.Seed}
+	pts := exp.PartitionedScaling(psc, 8, []int{1, 2, 4, 8}, iters)
+	b.PartitionedScaling.Kernel = "LU"
+	b.PartitionedScaling.Ranks = top
+	b.PartitionedScaling.Iterations = pts[0].Iterations
+	b.PartitionedScaling.Parts = 8
+	b.PartitionedScaling.Points = nil
+	base := pts[0].Wall.Seconds()
+	for _, p := range pts {
+		pt := PartPoint{
+			Parts: p.Parts, Workers: p.Workers, WallS: p.Wall.Seconds(),
+			Events: p.Events, Windows: p.Windows, CrossMessages: p.CrossMessages,
+		}
+		if w := p.Wall.Seconds(); w > 0 {
+			pt.SpeedupX = base / w
+		}
+		b.PartitionedScaling.Points = append(b.PartitionedScaling.Points, pt)
+	}
 }
 
 func microOf(r testing.BenchmarkResult, events uint64) Micro {
@@ -245,7 +303,7 @@ func measureObs(b *Baseline, sc exp.Scale) {
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
-	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs)")
+	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -299,8 +357,8 @@ func main() {
 	// Incremental mode: a full regeneration takes minutes, so -only re-measures
 	// one section into the existing file and leaves the rest untouched.
 	if *only != "" {
-		if *only != "obs" && *only != "robustness" {
-			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness)\n", *only)
+		if *only != "obs" && *only != "robustness" && *only != "partitioned" {
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned)\n", *only)
 			os.Exit(2)
 		}
 		data, err := os.ReadFile(*out)
@@ -324,6 +382,13 @@ func main() {
 			writeBaseline(*out, &b)
 			fmt.Printf("updated robustness section of %s (%d arms per campaign, %.1fs wall)\n",
 				*out, len(b.Robustness.OnePredicted), b.Robustness.WallS)
+		case "partitioned":
+			measurePartitioned(&b, sc, sweepRanks)
+			writeBaseline(*out, &b)
+			ps := b.PartitionedScaling
+			last := ps.Points[len(ps.Points)-1]
+			fmt.Printf("updated partitioned_scaling section of %s (%d ranks, serial %.1fs vs %d shards x %d workers %.1fs, %.2fx)\n",
+				*out, ps.Ranks, ps.Points[0].WallS, last.Parts, last.Workers, last.WallS, last.SpeedupX)
 		}
 		return
 	}
@@ -370,17 +435,22 @@ func main() {
 	})
 	b.Kernel["ping_pong"] = microOf(r, lastEvents)
 
+	// Persistent driver, shared worker body, reusable WaitGroup — the same
+	// shape as sim's BenchmarkSameTimeBatch, so allocs/op measures the kernel's
+	// pooled spawn path rather than per-iteration closure construction.
 	r = testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
 		e := sim.NewEngine(1)
+		wg := sim.NewWaitGroup(e)
+		worker := func(p *sim.Proc) {
+			p.Sleep(time.Microsecond)
+			wg.Done()
+		}
 		e.Spawn("driver", func(p *sim.Proc) {
 			for i := 0; i < tb.N; i++ {
-				wg := sim.NewWaitGroup(e)
+				wg.Add(256)
 				for w := 0; w < 256; w++ {
-					wg.Add(1)
-					p.SpawnChild("w", func(p *sim.Proc) {
-						p.Sleep(time.Microsecond)
-						wg.Done()
-					})
+					p.SpawnChild("w", worker)
 				}
 				wg.Wait(p)
 			}
@@ -446,7 +516,9 @@ func main() {
 			reg.Write(off, payload.Synth(uint64(i)+2, 0, 1<<16))
 		}
 	})
-	b.DataPlane.RegionWriteChurn = Micro{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+	// One region write is one op; events/sec here means sustained writes/sec
+	// (it was accidentally left at zero before).
+	b.DataPlane.RegionWriteChurn = microOf(r, uint64(r.N))
 
 	// Largest sweep point, run standalone so its data-plane delta and
 	// allocation footprint are attributable (the sweep loop below fans points
@@ -494,6 +566,9 @@ func main() {
 		b.SweepScaling = append(b.SweepScaling, sp)
 	}
 	exp.SetParallelism(1)
+
+	// --- partitioned engine ----------------------------------------------
+	measurePartitioned(&b, sc, sweepRanks)
 
 	// --- robustness -------------------------------------------------------
 	measureRobustness(&b, sc)

@@ -10,6 +10,7 @@
 //	migsim -app LU -class S -np 8 -ppn 2 -trace           # watch the protocol
 //	migsim -app LU -class W -np 16 -ppn 2 -fault tgt-crash -fault-phase 2
 //	migsim -app LU -class W -np 16 -ppn 2 -fault src-crash -verify
+//	migsim -app LU -class S -np 32 -partitions 4 -workers 4   # partitioned engine
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"ibmig/internal/cluster"
 	"ibmig/internal/core"
 	"ibmig/internal/cr"
+	"ibmig/internal/exp"
 	"ibmig/internal/fault"
 	"ibmig/internal/ftb"
 	"ibmig/internal/metrics"
@@ -48,9 +50,17 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the migration's event timeline (the paper's Fig. 2 sequence)")
 	obsOn := flag.Bool("obs", false, "collect observability data (spans, metrics, device utilization) and print a summary")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file (implies -obs)")
+	partitions := flag.Int("partitions", 1, "run the conservative partitioned engine with this many shards (LU only; >1 skips the migration scenario)")
+	workers := flag.Int("workers", 1, "worker goroutines for the partitioned engine")
+	iters := flag.Int("iters", 0, "partitioned engine: iteration override (0 = full class count)")
 	flag.Parse()
 	if *traceOut != "" {
 		*obsOn = true
+	}
+
+	if *partitions > 1 || *workers > 1 {
+		runPartitioned(*app, *class, *np, *seed, *partitions, *workers, *iters, *trace)
+		return
 	}
 
 	w := npb.New(npb.Kernel(*app), npb.Class((*class)[0]), *np)
@@ -203,6 +213,33 @@ func main() {
 		appDur.Seconds(), (appDur.Seconds()/w.EstimatedRuntime().Seconds()-1)*100)
 	if *verify {
 		fmt.Println("image verification: enabled (restart would have failed on any corruption)")
+	}
+}
+
+// runPartitioned executes the fault-free LU workload on the conservative
+// partitioned engine and reports window/cross-traffic statistics. Tracing is
+// only attached under -trace (fingerprints cost memory at scale); with it,
+// the printed fingerprint is bit-identical at every -workers setting.
+func runPartitioned(app, class string, np int, seed int64, parts, workers, iters int, trace bool) {
+	if npb.Kernel(app) != npb.LU {
+		fmt.Fprintln(os.Stderr, "-partitions supports only -app LU (the sharded wavefront workload)")
+		os.Exit(2)
+	}
+	sc := exp.Scale{Class: npb.Class(class[0]), Ranks: np, PPN: 1, Seed: seed}
+	out := exp.RunPartitionedLU(sc, parts, workers, iters, trace)
+	fmt.Printf("partitioned LU.%c: %d ranks over %d shards, %d workers, %d iterations\n",
+		sc.Class, out.Ranks, out.Parts, out.Workers, out.Iterations)
+	fmt.Printf("  %d events in %d windows, %d cross-partition messages\n",
+		out.Events, out.Windows, out.CrossMessages)
+	fmt.Printf("  virtual %.2fs, wall %.2fs\n", out.VirtualTime.Seconds(), out.Wall.Seconds())
+	if trace {
+		fmt.Printf("  trace fingerprint %#x (invariant across -workers)\n", out.Fingerprint)
+	}
+	for g, done := range out.Result.IterDone {
+		if done != out.Iterations {
+			fmt.Fprintf(os.Stderr, "rank %d finished %d/%d iterations\n", g, done, out.Iterations)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -17,11 +17,15 @@
 //	         CR, replication, adaptive) under identical failure schedules,
 //	         swept over failure density — the Cappello-style migration-vs-CR
 //	         crossover, plus a correlated rack-failure point
+//	partitioned  opt-in (not part of -exp all): conservative time-windowed
+//	         partitioned execution of the top sweep point, serial baseline vs
+//	         -partitions shards at each -workers count, with speedups
 //
 // Usage:
 //
 //	paperbench [-exp all|fig4|fig5|fig6|fig7|table1|pool|restart|socket|sweep]
 //	           [-scale paper|quick] [-seed N] [-parallel N]
+//	paperbench -exp partitioned [-partitions N] [-workers 1,2,4,8]
 //
 // At -scale paper the configuration matches the testbed: NPB class C, 64
 // processes on 8 compute nodes plus one spare (Fig. 5 runs each application
@@ -38,6 +42,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"ibmig/internal/core"
@@ -48,11 +54,13 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline, crossover")
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline, crossover, partitioned")
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
 	traceOut := flag.String("trace-out", "", "timeline experiment: write the Chrome/Perfetto trace-event JSON here")
+	partitions := flag.Int("partitions", 8, "partitioned experiment: shard count (must divide the LU grid rows)")
+	workersFlag := flag.String("workers", "1,2,4,8", "partitioned experiment: comma-separated worker-goroutine counts")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -206,6 +214,41 @@ func main() {
 		title := fmt.Sprintf("Scale sweep — LU migration, class %c, %d ranks/node", sc.Class, sc.PPN)
 		fmt.Println(exp.FormatSweep(title, exp.ScaleSweep(sc, ranks)))
 	})
+	// partitioned is opt-in (excluded from -exp all): its serial baseline
+	// deliberately re-builds the full-mesh world the sweep already measures,
+	// which at paper scale is a multi-minute run in its own right.
+	if *which == "partitioned" {
+		run("partitioned", func() {
+			workers, err := parseWorkers(*workersFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "-workers:", err)
+				os.Exit(2)
+			}
+			ranks := exp.DefaultSweepRanks[len(exp.DefaultSweepRanks)-1]
+			iters := 4
+			if *scaleName == "quick" {
+				ranks = exp.QuickSweepRanks[len(exp.QuickSweepRanks)-1]
+				iters = 10
+			}
+			psc := exp.Scale{Class: sc.Class, Ranks: ranks, PPN: sc.PPN, Seed: sc.Seed}
+			fmt.Printf("Partitioned engine — conservative time-windowed execution (LU.%c, %d ranks, %d shards)\n",
+				sc.Class, ranks, *partitions)
+			fmt.Println(exp.FormatPartitionedScaling(exp.PartitionedScaling(psc, *partitions, workers, iters)))
+		})
+	}
 
 	fmt.Println(metrics.CaptureDataPlane().Delta(dpStart))
+}
+
+// parseWorkers parses the -workers comma list ("1,2,4,8") into worker counts.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -33,6 +33,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent engines (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-scenario progress")
 		invs     = flag.Bool("invariants", false, "list registered invariants and exit")
+		parts    = flag.Int("partitions", 0, "run the partitioned-engine invariant sweep with this many partitions per scenario (0 with -workers unset = off; -1 = random 2-5)")
+		workers  = flag.Int("workers", 0, "worker goroutines per partitioned scenario (implies the partitioned sweep; determinism is cross-checked against workers=1)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,11 @@ func main() {
 	}
 
 	exp.SetParallelism(*parallel)
+
+	if *parts != 0 || *workers != 0 {
+		runPartitioned(*n, *seed, *parts, *workers, *jsonOut, *verbose)
+		return
+	}
 
 	if *spec != "" {
 		runOne(*spec, *jsonOut, *shrink)
@@ -76,6 +83,32 @@ func main() {
 		}
 	}
 	writeJSON(*jsonOut, sum)
+	if len(sum.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runPartitioned is the partitioned-engine invariant sweep: seeded random
+// cross-partition traffic through sim.Partitioned, checking delivery
+// latency, per-link FIFO, conservation, and worker-count determinism.
+func runPartitioned(n int, seed int64, parts, workers int, jsonOut string, verbose bool) {
+	if workers < 1 {
+		workers = 4
+	}
+	if parts < 0 {
+		parts = 0 // random 2-5 per scenario
+	}
+	var progress func(int)
+	if verbose {
+		progress = func(done int) {
+			if done%50 == 0 || done == n {
+				fmt.Fprintf(os.Stderr, "protocheck[partitioned]: %d/%d\n", done, n)
+			}
+		}
+	}
+	sum := check.PartSweep(n, seed, parts, workers, progress)
+	sum.Write(os.Stdout)
+	writeJSON(jsonOut, sum)
 	if len(sum.Failures) > 0 {
 		os.Exit(1)
 	}

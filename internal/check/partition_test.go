@@ -1,0 +1,38 @@
+package check
+
+import "testing"
+
+// TestPartSweepClean runs the partitioned invariant sweep at several worker
+// counts and requires every scenario to pass: latency exactness, per-link
+// FIFO, message conservation, and worker-count determinism.
+func TestPartSweepClean(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		s := PartSweep(25, 1, 0, workers, nil)
+		if s.Checked != 25 {
+			t.Fatalf("workers=%d: checked %d/25", workers, s.Checked)
+		}
+		if len(s.Failures) != 0 {
+			for _, f := range s.Failures {
+				t.Errorf("workers=%d seed=%d parts=%d: %v", workers, f.Seed, f.Parts, f.Errors)
+			}
+			t.Fatalf("workers=%d: %d scenarios violated invariants", workers, len(s.Failures))
+		}
+		if s.Sent == 0 || s.Windows == 0 {
+			t.Fatalf("workers=%d: sweep moved no traffic (sent=%d windows=%d)", workers, s.Sent, s.Windows)
+		}
+	}
+}
+
+// TestPartSweepFixedParts pins the fixed-partition-count path used by the CI
+// smoke job (protocheck -partitions 4 -workers 4).
+func TestPartSweepFixedParts(t *testing.T) {
+	s := PartSweep(10, 7, 4, 4, nil)
+	if len(s.Failures) != 0 {
+		t.Fatalf("failures: %+v", s.Failures)
+	}
+	for _, want := range []int{4} {
+		if s.Parts != want {
+			t.Fatalf("parts = %d, want %d", s.Parts, want)
+		}
+	}
+}

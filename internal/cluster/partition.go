@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"ibmig/internal/calib"
+	"ibmig/internal/sim"
+)
+
+// PartitionPlan assigns the cluster's compute nodes to logical processes of
+// a partitioned simulation (sim.Partitioned): contiguous, rack-aligned
+// groups of nodes, plus the lookahead the partition boundaries support.
+type PartitionPlan struct {
+	Parts int
+	// Nodes[i] holds partition i's compute node names, in cluster order.
+	Nodes [][]string
+	// Lookahead is the minimum latency of any cross-partition link. Node
+	// groups talk over the InfiniBand fabric, so the floor is the calibrated
+	// one-way IB latency; the GigE maintenance network is slower
+	// (calib.GigELatency) and therefore never the binding constraint.
+	Lookahead sim.Duration
+}
+
+// PartitionOf returns the partition index hosting the named node, or -1.
+func (pl PartitionPlan) PartitionOf(name string) int {
+	for i, grp := range pl.Nodes {
+		for _, n := range grp {
+			if n == name {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Partition splits the compute nodes into `parts` contiguous groups of equal
+// size, aligned to rack boundaries when rack topology is configured (a rack
+// is a switch domain; keeping it whole keeps intra-rack traffic off the
+// cross-partition links). parts must divide the node count, and with racks
+// the group size must be a multiple of the rack size.
+func (c *Cluster) Partition(parts int) PartitionPlan {
+	n := len(c.Compute)
+	if parts < 1 || n%parts != 0 {
+		panic("cluster: partition count must divide the compute node count")
+	}
+	per := n / parts
+	if c.rackSize > 0 && per%c.rackSize != 0 {
+		panic("cluster: partition size must be a whole number of racks")
+	}
+	pl := PartitionPlan{Parts: parts, Lookahead: calib.IBLatency}
+	for i := 0; i < parts; i++ {
+		grp := make([]string, per)
+		for j := 0; j < per; j++ {
+			grp[j] = c.Compute[i*per+j].Name
+		}
+		pl.Nodes = append(pl.Nodes, grp)
+	}
+	return pl
+}

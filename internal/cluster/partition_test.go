@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/sim"
+)
+
+func TestPartitionRackAligned(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 16, RackSize: 4})
+	pl := c.Partition(4)
+	if pl.Parts != 4 || len(pl.Nodes) != 4 {
+		t.Fatalf("plan parts = %d/%d, want 4", pl.Parts, len(pl.Nodes))
+	}
+	if pl.Lookahead != calib.IBLatency {
+		t.Fatalf("lookahead = %v, want IB latency %v", pl.Lookahead, calib.IBLatency)
+	}
+	seen := map[string]bool{}
+	for i, grp := range pl.Nodes {
+		if len(grp) != 4 {
+			t.Fatalf("partition %d has %d nodes, want 4", i, len(grp))
+		}
+		rack := c.RackOf(grp[0])
+		for _, n := range grp {
+			if seen[n] {
+				t.Fatalf("node %s assigned twice", n)
+			}
+			seen[n] = true
+			if c.RackOf(n) != rack {
+				t.Fatalf("partition %d splits racks: %s in rack %d, %s in rack %d",
+					i, grp[0], rack, n, c.RackOf(n))
+			}
+			if pl.PartitionOf(n) != i {
+				t.Fatalf("PartitionOf(%s) = %d, want %d", n, pl.PartitionOf(n), i)
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("plan covers %d nodes, want 16", len(seen))
+	}
+	if pl.PartitionOf("login") != -1 {
+		t.Fatal("non-compute node must map to -1")
+	}
+	e.Shutdown()
+}
+
+func TestPartitionRejectsUnevenSplits(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, Config{ComputeNodes: 8, RackSize: 4})
+	for _, parts := range []int{0, 3, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Partition(%d) should panic", parts)
+				}
+			}()
+			c.Partition(parts)
+		}()
+	}
+	// 8 nodes / 2 racks of 4: parts=4 would give 2-node groups splitting racks.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("rack-splitting partition should panic")
+			}
+		}()
+		c.Partition(4)
+	}()
+	e.Shutdown()
+}

@@ -1,0 +1,541 @@
+package exp
+
+// Partitioned-execution scenario: the LU wavefront workload sharded across
+// sim.Partitioned logical processes.
+//
+// The 2-D LU process grid (nx columns x ny rows, row-major ranks) is cut into
+// `parts` horizontal shards of ny/parts rows. Each shard is a self-contained
+// partition: its own engine, its own InfiniBand fabric (one node per rank),
+// and its own mpi.World running the shard's slice of the wavefront sweeps.
+// Only the grid-row boundary between adjacent shards crosses partitions, and
+// it does so over sim.CrossLinks:
+//
+//   - face links carry the wavefront k-block faces a boundary row sends to
+//     its off-shard neighbour (south during the lower sweep, north during the
+//     upper sweep), routed to a per-column mailbox on the far side;
+//   - control links chain the periodic residual all-reduce: each shard
+//     reduces locally, shard representatives (local rank 0) fold checksums up
+//     the shard chain to shard 0 and fan the combined seed back down, and
+//     each shard broadcasts the combined payload locally.
+//
+// The scenario drives lookahead promises from the workload's own cadence:
+// a k-block costs PerIterCompute/(2*npb.LUBlocks) of compute, so after a
+// boundary send the link cannot deliver again for at least one block (17
+// blocks across the sweep turnaround), and the control links are quiet for
+// NormEvery*2*LUBlocks blocks between all-reduce rounds. Those promises are
+// what makes the windows big enough to batch thousands of events per barrier
+// instead of degenerating to lockstep.
+//
+// parts=1 degenerates to the exact same scenario on one plain engine driven
+// by the proven serial dispatcher; any parts/workers combination produces
+// bit-identical per-partition traces (TestPartitionedLUDeterministic).
+
+import (
+	"fmt"
+	"time"
+
+	"ibmig/internal/calib"
+	"ibmig/internal/ib"
+	"ibmig/internal/mpi"
+	"ibmig/internal/npb"
+	"ibmig/internal/payload"
+	"ibmig/internal/sim"
+)
+
+// farFuture marks a link that will never send again; it effectively removes
+// the link from horizon computation so the final drain runs in one window.
+const farFuture = sim.Time(1 << 62)
+
+// tagHier is the application tag base for the hierarchical all-reduce
+// broadcast, far above the face tags (Iterations*2*LUBlocks) and far below
+// the collective-internal block at 1<<20.
+const tagHier = 1 << 18
+
+// faceMsg is one wavefront k-block face crossing a shard boundary.
+type faceMsg struct {
+	ix   int // grid column, selects the destination mailbox
+	tag  int // sweep tag, asserted against the receiver's expectation
+	data payload.Buffer
+}
+
+// ctlMsg is one hop of the all-reduce shard chain.
+type ctlMsg struct {
+	round int
+	sum   uint64
+}
+
+// shard is one partition's slice of the scenario.
+type shard struct {
+	id    int
+	e     *sim.Engine
+	w     *mpi.World
+	rec   *sim.Recorder
+	nx    int // grid columns
+	rps   int // rows per shard
+	first int // first global rank of the shard
+
+	// Cross-partition plumbing (nil at the grid edges).
+	sendDown, sendUp *sim.CrossLink        // faces to shard id+1 / id-1
+	downNext, upNext []sim.Time            // per-column next-send lower bounds
+	northIn, southIn []*sim.Queue[faceMsg] // per-column inbound mailboxes
+	ctlUp, ctlDown   *sim.CrossLink        // all-reduce chain to id-1 / id+1
+	ctlFromAbove     *sim.Queue[ctlMsg]
+	ctlFromBelow     *sim.Queue[ctlMsg]
+}
+
+// PartitionedOutcome reports one partitioned LU run.
+type PartitionedOutcome struct {
+	Parts, Workers int
+	Ranks          int
+	Iterations     int
+
+	Events        uint64
+	Windows       uint64
+	CrossMessages uint64
+	VirtualTime   sim.Duration
+	Wall          time.Duration
+
+	// PartitionHashes[i] fingerprints partition i's full trace; identical
+	// across worker counts by construction. Fingerprint combines them.
+	PartitionHashes []uint64
+	Fingerprint     uint64
+
+	Result *npb.Result
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// recordHash fingerprints a recorded trace the same way the golden tests do.
+func recordHash(rec *sim.Recorder) uint64 {
+	h := uint64(fnvOffset)
+	for _, r := range rec.Records {
+		h = fnvString(h, fmt.Sprintf("%d|%s|%s|%s\n", int64(r.T), r.Kind, r.Who, r.Detail))
+	}
+	return h
+}
+
+// fold mirrors npb's verification accumulator so partitioned results stay
+// content-sensitive the same way.
+func fold(acc uint64, b payload.Buffer) uint64 {
+	n := b.Size()
+	if n > 4096 {
+		n = 4096
+	}
+	return acc*fnvPrime ^ b.Slice(0, n).Checksum()
+}
+
+// factor2D mirrors npb's most-square grid decomposition.
+func factor2D(n int) (nx, ny int) {
+	nx = 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			nx = n / d
+			if d > nx {
+				nx = d
+			}
+		}
+	}
+	for n%nx != 0 {
+		nx--
+	}
+	if ny = n / nx; nx > ny {
+		nx, ny = ny, nx
+	}
+	return nx, ny
+}
+
+// RunPartitionedLU runs the LU wavefront workload sharded over `parts`
+// partitions on `workers` goroutines. iterations overrides the class
+// iteration count when > 0 (the scaling benchmark trims it so the setup and
+// steady-state phases are both visible in wall time). trace attaches a
+// per-partition Recorder and fills the fingerprint fields — leave it off for
+// large benchmark runs, a 2048-rank trace does not fit in memory comfortably.
+func RunPartitionedLU(sc Scale, parts, workers, iterations int, trace bool) PartitionedOutcome {
+	w := npb.New(npb.LU, sc.Class, sc.Ranks)
+	if iterations > 0 {
+		w.Iterations = iterations
+	}
+	nx, ny := factor2D(sc.Ranks)
+	if parts < 1 || ny%parts != 0 {
+		panic(fmt.Sprintf("exp: partition count %d must divide the LU grid rows %d", parts, ny))
+	}
+	rps := ny / parts
+	localN := rps * nx
+
+	bc := w.PerIterCompute / (2 * npb.LUBlocks)
+	blockFace := w.FaceBytes / npb.LUBlocks
+	if blockFace < 128 {
+		blockFace = 128
+	}
+	faceLat := calib.IBLatency + sim.Duration(float64(blockFace)/float64(calib.IBBandwidth)*1e9)
+	ctlLat := calib.IBLatency + sim.Duration(40*1e9/calib.IBBandwidth)
+
+	// Serial QP setup dominates launch; conns*IBQPSetup is a hard lower bound
+	// on when any rank can send, which seeds every link's initial promise.
+	conns := localN * (localN - 1) / 2
+	ready := sim.Time(0).Add(calib.IBQPSetup * sim.Duration(conns))
+	firstRound := w.NormEvery
+	if w.Iterations < firstRound {
+		firstRound = w.Iterations
+	}
+
+	pe := sim.NewPartitioned(sc.Seed, parts)
+	res := npb.NewResult(sc.Ranks)
+	shards := make([]*shard, parts)
+	for s := 0; s < parts; s++ {
+		sh := &shard{id: s, e: pe.Engine(s), nx: nx, rps: rps, first: s * localN}
+		if trace {
+			sh.rec = &sim.Recorder{}
+			sh.e.SetTracer(sh.rec)
+		}
+		fab := ib.NewFabric(sh.e, ib.Config{})
+		placement := make([]string, localN)
+		for i := range placement {
+			placement[i] = fmt.Sprintf("n%03d", i)
+			fab.AttachHCA(placement[i])
+		}
+		sh.w = mpi.NewWorld(sh.e, fab, placement, mpi.Config{})
+		shards[s] = sh
+	}
+
+	// Cross-partition links, in a fixed registration order (the deterministic
+	// same-instant tie-break): for each boundary s|s+1, faces down, faces up,
+	// control up, control down.
+	for s := 0; s < parts-1; s++ {
+		lo, hi := shards[s], shards[s+1]
+		lo.sendDown = pe.Connect(fmt.Sprintf("face.down.%d", s), s, s+1, faceLat)
+		hi.sendUp = pe.Connect(fmt.Sprintf("face.up.%d", s), s+1, s, faceLat)
+		hi.ctlUp = pe.Connect(fmt.Sprintf("ctl.up.%d", s), s+1, s, ctlLat)
+		lo.ctlDown = pe.Connect(fmt.Sprintf("ctl.down.%d", s), s, s+1, ctlLat)
+
+		hi.northIn = bindFaceColumns(hi.e, fmt.Sprintf("north.%d", s+1), nx, lo.sendDown)
+		lo.southIn = bindFaceColumns(lo.e, fmt.Sprintf("south.%d", s), nx, hi.sendUp)
+		lo.ctlFromBelow = sim.NewQueue[ctlMsg](lo.e, fmt.Sprintf("ctl.below.%d", s), 0)
+		hi.ctlFromAbove = sim.NewQueue[ctlMsg](hi.e, fmt.Sprintf("ctl.above.%d", s+1), 0)
+		sim.BindQueue(hi.ctlUp, lo.ctlFromBelow)
+		sim.BindQueue(lo.ctlDown, hi.ctlFromAbove)
+
+		// Initial promises: the wavefront cannot reach the bottom boundary of
+		// a shard before rps pipelined blocks (plus column skew), nor start
+		// the upper sweep before a full lower sweep; the all-reduce chain is
+		// quiet until the first NormEvery iterations complete.
+		lo.downNext = make([]sim.Time, nx)
+		hi.upNext = make([]sim.Time, nx)
+		for ix := 0; ix < nx; ix++ {
+			lo.downNext[ix] = ready.Add(bc * sim.Duration(ix+rps))
+			hi.upNext[ix] = ready.Add(bc * sim.Duration(17))
+		}
+		lo.sendDown.Promise(minTime(lo.downNext))
+		hi.sendUp.Promise(minTime(hi.upNext))
+		hi.ctlUp.Promise(ready.Add(bc * sim.Duration(32*firstRound)))
+		lo.ctlDown.Promise(ready.Add(bc * sim.Duration(32*firstRound)))
+	}
+
+	for _, sh := range shards {
+		sh.w.Start(sh.app(w, bc, blockFace, res))
+	}
+
+	start := time.Now()
+	if err := pe.Run(workers); err != nil {
+		panic("exp: partitioned run: " + err.Error())
+	}
+	out := PartitionedOutcome{
+		Parts: parts, Workers: workers, Ranks: sc.Ranks, Iterations: w.Iterations,
+		Events: pe.Events(), Windows: pe.Windows(), CrossMessages: pe.CrossMessages(),
+		VirtualTime: sim.Duration(pe.Now()), Wall: time.Since(start),
+		Result: res,
+	}
+	for _, sh := range shards {
+		if !sh.w.Done() {
+			panic(fmt.Sprintf("exp: partitioned run drained with shard %d unfinished; blocked: %v",
+				sh.id, pe.Blocked()))
+		}
+	}
+	if trace {
+		out.Fingerprint = fnvOffset
+		for _, sh := range shards {
+			h := recordHash(sh.rec)
+			out.PartitionHashes = append(out.PartitionHashes, h)
+			out.Fingerprint = (out.Fingerprint ^ h) * fnvPrime
+		}
+	}
+	pe.Shutdown()
+	return out
+}
+
+// PartitionedScaling measures the partitioned engine against the serial
+// baseline at one scenario size: the first returned point is parts=1 on the
+// serial dispatcher, the rest run `parts` partitions at each requested worker
+// count. Runs are sequential (each owns the whole host) and untraced.
+//
+// On a single-core host the speedup comes from the partitioning itself —
+// each shard's MPI world builds an O((ranks/parts)^2) connection mesh
+// instead of the serial O(ranks^2) one, so the event count (and the pump
+// process population) drops by roughly the partition count; worker threads
+// add on top of that only when real cores back them.
+func PartitionedScaling(sc Scale, parts int, workers []int, iterations int) []PartitionedOutcome {
+	out := []PartitionedOutcome{RunPartitionedLU(sc, 1, 1, iterations, false)}
+	for _, w := range workers {
+		out = append(out, RunPartitionedLU(sc, parts, w, iterations, false))
+	}
+	return out
+}
+
+// FormatPartitionedScaling renders a scaling sweep as a text table with
+// speedups relative to the first (serial) point.
+func FormatPartitionedScaling(pts []PartitionedOutcome) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	base := pts[0].Wall.Seconds()
+	s := fmt.Sprintf("partitioned scaling: LU ranks=%d iterations=%d\n", pts[0].Ranks, pts[0].Iterations)
+	s += fmt.Sprintf("%10s %8s %10s %12s %10s %9s\n", "parts", "workers", "wall_s", "events", "windows", "speedup")
+	for _, p := range pts {
+		sp := 0.0
+		if w := p.Wall.Seconds(); w > 0 {
+			sp = base / w
+		}
+		s += fmt.Sprintf("%10d %8d %10.2f %12d %10d %8.2fx\n",
+			p.Parts, p.Workers, p.Wall.Seconds(), p.Events, p.Windows, sp)
+	}
+	return s
+}
+
+// bindFaceColumns routes one face link's deliveries into per-column
+// mailboxes on the destination engine.
+func bindFaceColumns(e *sim.Engine, name string, nx int, from *sim.CrossLink) []*sim.Queue[faceMsg] {
+	qs := make([]*sim.Queue[faceMsg], nx)
+	for ix := range qs {
+		qs[ix] = sim.NewQueue[faceMsg](e, fmt.Sprintf("face.%s.c%d", name, ix), 0)
+	}
+	from.Bind(func(_ sim.Time, v any) {
+		m := v.(faceMsg)
+		qs[m.ix].TrySend(m)
+	})
+	return qs
+}
+
+func minTime(ts []sim.Time) sim.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// crossFace sends one boundary face over a cross link, charging the same
+// per-message overhead an in-fabric send pays, and advances the link's
+// promise from the per-column next-send lower bounds: the next face from
+// this column is at least one k-block of compute away (17 blocks across the
+// sweep turnaround, never again after the final sweep).
+func (sh *shard) crossFace(r *mpi.Rank, l *sim.CrossLink, next []sim.Time, ix, tag int, n int64, gapBlocks int, bc sim.Duration) {
+	p := r.Proc()
+	p.Sleep(calib.MPIPerMessageOverhead)
+	g := sh.first + ix // boundary rank's global id seeds the payload
+	l.Send(faceMsg{ix: ix, tag: tag, data: payload.Synth(uint64(g)<<40^uint64(tag)<<20, 0, n)})
+	if gapBlocks == 0 {
+		next[ix] = farFuture
+	} else {
+		next[ix] = p.Now().Add(bc * sim.Duration(gapBlocks))
+	}
+	l.Promise(minTime(next))
+}
+
+// crossRecv consumes one boundary face from a per-column mailbox; faces per
+// column arrive in send order (per-link FIFO), so the tag must match.
+func crossRecv(p *sim.Proc, q *sim.Queue[faceMsg], tag int) payload.Buffer {
+	m, ok := q.Recv(p)
+	if !ok {
+		panic("exp: face mailbox closed")
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("exp: boundary face out of order: got tag %d, want %d", m.tag, tag))
+	}
+	p.Sleep(calib.MPIPerMessageOverhead)
+	return m.data
+}
+
+// bcastData distributes an explicit payload from local root over the shard's
+// binomial tree using an application tag (mpi.Bcast synthesizes content;
+// the all-reduce needs the cross-shard combined payload verbatim).
+func bcastData(r *mpi.Rank, root, tag int, data payload.Buffer) payload.Buffer {
+	n := r.Size()
+	rel := (r.ID() - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			data, _ = r.Recv((r.ID()-mask+n)%n, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			r.SendData((r.ID()+mask)%n, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// hierAllreduce is the cross-shard residual all-reduce: a local all-reduce,
+// a checksum chain through the shard representatives to shard 0 and back,
+// and a local broadcast of the combined payload. itersLeft drives the
+// control links' next-round promises; final rounds retire them.
+func (sh *shard) hierAllreduce(r *mpi.Rank, round, itersLeft int, final bool, bc sim.Duration) payload.Buffer {
+	local := r.Allreduce(40)
+	if r.ID() != 0 {
+		return bcastData(r, 0, tagHier+round, payload.Buffer{})
+	}
+	p := r.Proc()
+	sum := local.Checksum()
+	if sh.ctlFromBelow != nil {
+		m, ok := sh.ctlFromBelow.Recv(p)
+		if !ok || m.round != round {
+			panic("exp: all-reduce chain out of order")
+		}
+		p.Sleep(calib.MPIPerMessageOverhead)
+		sum = sum*fnvPrime ^ m.sum
+	}
+	g := sum
+	if sh.ctlUp != nil {
+		p.Sleep(calib.MPIPerMessageOverhead)
+		sh.ctlUp.Send(ctlMsg{round: round, sum: sum})
+		m, ok := sh.ctlFromAbove.Recv(p)
+		if !ok || m.round != round {
+			panic("exp: all-reduce chain out of order")
+		}
+		p.Sleep(calib.MPIPerMessageOverhead)
+		g = m.sum
+	}
+	if sh.ctlDown != nil {
+		p.Sleep(calib.MPIPerMessageOverhead)
+		sh.ctlDown.Send(ctlMsg{round: round, sum: g})
+	}
+	for _, l := range []*sim.CrossLink{sh.ctlUp, sh.ctlDown} {
+		if l == nil {
+			continue
+		}
+		if final {
+			l.Promise(farFuture)
+		} else if itersLeft > 0 { // next round after itersLeft more iterations
+			l.Promise(p.Now().Add(bc * sim.Duration(32*itersLeft)))
+		}
+	}
+	return bcastData(r, 0, tagHier+round, payload.Synth(g, 0, 40))
+}
+
+// app builds the shard's rank function: npb's LU wavefront sweeps with the
+// off-shard north/south edges rerouted over the cross links.
+func (sh *shard) app(w npb.Workload, bc sim.Duration, blockFace int64, res *npb.Result) func(*mpi.Rank) {
+	nx, rps := sh.nx, sh.rps
+	return func(r *mpi.Rank) {
+		local := r.ID()
+		ix, ly := local%nx, local/nx
+		g := sh.first + local // global rank for result accounting
+
+		// Local neighbours; -1 means either a grid edge or a shard boundary.
+		north, south, west, east := -1, -1, -1, -1
+		if ly > 0 {
+			north = local - nx
+		}
+		if ly < rps-1 {
+			south = local + nx
+		}
+		if ix > 0 {
+			west = local - 1
+		}
+		if ix < nx-1 {
+			east = local + 1
+		}
+		crossNorth := ly == 0 && sh.northIn != nil     // neighbour in shard id-1
+		crossSouth := ly == rps-1 && sh.southIn != nil // neighbour in shard id+1
+
+		var acc uint64
+		lastIter := w.Iterations - 1
+		// sweep mirrors npb.luApp's pipelined wavefront with cross-shard
+		// edges: dirSouth selects the lower sweep (deps north/west, sends
+		// south/east) vs the upper (deps south/east, sends north/west).
+		sweep := func(tagBase, it int, dirSouth bool) {
+			for b := 0; b < npb.LUBlocks; b++ {
+				tag := tagBase + b
+				gap := 1
+				if b == npb.LUBlocks-1 {
+					gap = 17
+					if it == lastIter {
+						gap = 0
+					}
+				}
+				if dirSouth {
+					if north >= 0 {
+						buf, _ := r.Recv(north, tag)
+						acc = fold(acc, buf)
+					} else if crossNorth {
+						acc = fold(acc, crossRecv(r.Proc(), sh.northIn[ix], tag))
+					}
+					if west >= 0 {
+						buf, _ := r.Recv(west, tag)
+						acc = fold(acc, buf)
+					}
+					r.Compute(bc)
+					if south >= 0 {
+						r.Send(south, tag, blockFace)
+					} else if crossSouth {
+						sh.crossFace(r, sh.sendDown, sh.downNext, ix, tag, blockFace, gap, bc)
+					}
+					if east >= 0 {
+						r.Send(east, tag, blockFace)
+					}
+				} else {
+					if south >= 0 {
+						buf, _ := r.Recv(south, tag)
+						acc = fold(acc, buf)
+					} else if crossSouth {
+						acc = fold(acc, crossRecv(r.Proc(), sh.southIn[ix], tag))
+					}
+					if east >= 0 {
+						buf, _ := r.Recv(east, tag)
+						acc = fold(acc, buf)
+					}
+					r.Compute(bc)
+					if north >= 0 {
+						r.Send(north, tag, blockFace)
+					} else if crossNorth {
+						sh.crossFace(r, sh.sendUp, sh.upNext, ix, tag, blockFace, gap, bc)
+					}
+					if west >= 0 {
+						r.Send(west, tag, blockFace)
+					}
+				}
+			}
+		}
+		round := 0
+		for it := 0; it < w.Iterations; it++ {
+			sweep(it*2*npb.LUBlocks, it, true)
+			sweep((it*2+1)*npb.LUBlocks, it, false)
+			if (it+1)%w.NormEvery == 0 {
+				round++
+				left := w.Iterations - (it + 1)
+				if left > w.NormEvery {
+					left = w.NormEvery
+				}
+				acc = fold(acc, sh.hierAllreduce(r, round, left, false, bc))
+			}
+			res.IterDone[g] = it + 1
+		}
+		r.Barrier()
+		acc = fold(acc, sh.hierAllreduce(r, round+1, 0, true, bc))
+		res.RankSums[g] = acc
+		res.FinishedAt[g] = r.Proc().Now()
+	}
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"testing"
+
+	"ibmig/internal/npb"
+)
+
+// partScale is the pinned partitioned-LU scenario for determinism tests:
+// class S at 32 ranks gives a 4x8 grid, so 4 partitions of 2 rows each with
+// three cross-partition boundaries in play.
+var partScale = Scale{Class: npb.ClassS, Ranks: 32, PPN: 1, Seed: 7}
+
+const partIters = 10
+
+// TestPartitionedLUDeterministic requires bit-identical per-partition traces
+// — and identical results, window counts and cross-traffic — at every worker
+// count. This is the tentpole's core guarantee: parallel execution is
+// invisible to simulation output.
+func TestPartitionedLUDeterministic(t *testing.T) {
+	base := RunPartitionedLU(partScale, 4, 1, partIters, true)
+	if got := len(base.PartitionHashes); got != 4 {
+		t.Fatalf("partition hashes = %d, want 4", got)
+	}
+	if base.CrossMessages == 0 {
+		t.Fatal("no cross-partition traffic; the boundary wiring is dead")
+	}
+	for _, workers := range []int{2, 8} {
+		out := RunPartitionedLU(partScale, 4, workers, partIters, true)
+		for i, h := range out.PartitionHashes {
+			if h != base.PartitionHashes[i] {
+				t.Errorf("workers=%d: partition %d trace hash %#x, want %#x", workers, i, h, base.PartitionHashes[i])
+			}
+		}
+		if out.Fingerprint != base.Fingerprint {
+			t.Errorf("workers=%d: fingerprint %#x, want %#x", workers, out.Fingerprint, base.Fingerprint)
+		}
+		if out.Events != base.Events || out.Windows != base.Windows || out.CrossMessages != base.CrossMessages {
+			t.Errorf("workers=%d: events/windows/cross = %d/%d/%d, want %d/%d/%d", workers,
+				out.Events, out.Windows, out.CrossMessages, base.Events, base.Windows, base.CrossMessages)
+		}
+		if !out.Result.Equal(base.Result) {
+			t.Errorf("workers=%d: verification sums diverged", workers)
+		}
+		if out.VirtualTime != base.VirtualTime {
+			t.Errorf("workers=%d: virtual time %v, want %v", workers, out.VirtualTime, base.VirtualTime)
+		}
+	}
+	for g, done := range base.Result.IterDone {
+		if done != partIters {
+			t.Fatalf("rank %d finished %d/%d iterations", g, done, partIters)
+		}
+	}
+	for g, sum := range base.Result.RankSums {
+		if sum == 0 {
+			t.Fatalf("rank %d verification sum is zero", g)
+		}
+	}
+}
+
+// TestPartitionedLUDegenerate pins the parts=1 path: a single partition runs
+// the whole world on the serial dispatcher with no cross traffic and no
+// window barriers beyond the trivial ones, at any worker count.
+func TestPartitionedLUDegenerate(t *testing.T) {
+	one := RunPartitionedLU(partScale, 1, 1, partIters, true)
+	if one.CrossMessages != 0 {
+		t.Fatalf("parts=1 produced %d cross messages", one.CrossMessages)
+	}
+	many := RunPartitionedLU(partScale, 1, 8, partIters, true)
+	if one.Fingerprint != many.Fingerprint || !one.Result.Equal(many.Result) {
+		t.Fatal("parts=1 diverged across worker counts")
+	}
+	for g, done := range one.Result.IterDone {
+		if done != partIters {
+			t.Fatalf("rank %d finished %d/%d iterations", g, done, partIters)
+		}
+	}
+}

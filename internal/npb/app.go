@@ -64,6 +64,12 @@ func (w Workload) App(res *Result) func(*mpi.Rank) {
 // serializing the whole diagonal.
 const luBlocks = 16
 
+// LUBlocks exposes the LU pipeline block count to drivers that must replicate
+// the sweep cadence externally — the partitioned-execution scenario keys its
+// cross-partition lookahead promises to the per-block compute time
+// PerIterCompute / (2*LUBlocks).
+const LUBlocks = luBlocks
+
 // luApp is the SSOR solver skeleton: per iteration, a lower-triangular
 // wavefront sweep (dependencies from north and west) and an upper-triangular
 // sweep (dependencies from south and east) across a 2-D process grid, each

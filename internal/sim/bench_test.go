@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -70,30 +71,77 @@ func BenchmarkManyBlockedProcs(b *testing.B) {
 	reportEventsPerSec(b, e)
 }
 
-// BenchmarkSameTimeBatch measures the ready-ring batch path: many processes
-// scheduled to resume at the same instant, dispatched without touching the
-// heap.
+// BenchmarkSameTimeBatch measures the ready-ring batch path: per op, 256
+// processes are spawned, all wake at the same instant, and retire — the
+// spawn/dispatch/retire churn of a collective fan-out. With the pooled spawn
+// path (Proc + wake channel + goroutine reuse, closure-free start events)
+// the steady state allocates nothing in the kernel; the shared worker body
+// and reusable WaitGroup keep the benchmark itself allocation-free too, so
+// allocs/op measures the kernel (regression guard: TestSameTimeBatchAllocs).
 func BenchmarkSameTimeBatch(b *testing.B) {
 	e := NewEngine(1)
 	const fanout = 256
+	wg := NewWaitGroup(e)
+	worker := func(p *Proc) {
+		p.Sleep(time.Microsecond) // all wake at the same tick
+		wg.Done()
+	}
 	e.Spawn("driver", func(p *Proc) {
 		for i := 0; i < b.N; i++ {
-			wg := NewWaitGroup(e)
+			wg.Add(fanout)
 			for w := 0; w < fanout; w++ {
-				wg.Add(1)
-				p.SpawnChild("w", func(p *Proc) {
-					p.Sleep(time.Microsecond) // all wake at the same tick
-					wg.Done()
-				})
+				p.SpawnChild("w", worker)
 			}
 			wg.Wait(p)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
 	}
 	reportEventsPerSec(b, e)
+}
+
+// TestSameTimeBatchAllocs is the allocs-per-op regression guard for the
+// same-time-batch dispatch path: after warmup (pool populated, tables grown)
+// a 256-process batch must stay at or below 16 allocations — it was 1285
+// before the spawn path was pooled.
+func TestSameTimeBatchAllocs(t *testing.T) {
+	e := NewEngine(1)
+	const fanout = 256
+	const warm, measured = 32, 128
+	wg := NewWaitGroup(e)
+	worker := func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		wg.Done()
+	}
+	var start, end runtime.MemStats
+	e.Spawn("driver", func(p *Proc) {
+		batch := func() {
+			wg.Add(fanout)
+			for w := 0; w < fanout; w++ {
+				p.SpawnChild("w", worker)
+			}
+			wg.Wait(p)
+		}
+		for i := 0; i < warm; i++ {
+			batch()
+		}
+		runtime.ReadMemStats(&start)
+		for i := 0; i < measured; i++ {
+			batch()
+		}
+		runtime.ReadMemStats(&end)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+	perOp := float64(end.Mallocs-start.Mallocs) / measured
+	if perOp > 16 {
+		t.Fatalf("same-time batch dispatch allocates %.1f/op, budget 16", perOp)
+	}
 }
 
 // BenchmarkQueueChurn measures sustained queue traffic with a bounded

@@ -65,6 +65,8 @@ const (
 	wakeSignal  = iota // the condition the process waited on was met
 	wakeTimeout        // a WaitTimeout/RecvTimeout deadline expired
 	wakeKill           // engine shutdown: unwind the process goroutine
+	wakeStart          // a spawned process's start event (see Engine.Spawn)
+	wakeRetire         // shutdown of an idle pooled goroutine (see procLoop)
 )
 
 // killSentinel is the panic value used to unwind killed processes.
@@ -131,6 +133,7 @@ type Engine struct {
 	nextPID  int
 	procs    map[int]*Proc // live processes, for deadlock reporting
 	flowFree []*Proc       // retired flow Procs, recycled by SpawnFlow
+	procFree []*Proc       // retired goroutine-backed Procs, recycled by Spawn
 
 	tracer  Tracer
 	failure error // first process panic, aborts the run
@@ -289,17 +292,27 @@ func (e *Engine) After(d Duration, fn func()) {
 // Spawn creates a new process executing fn and schedules it to start at the
 // current virtual time. It may be called before Run, from process context, or
 // from a scheduled callback.
+//
+// Spawn is pooled end to end: retired Procs are recycled (struct, wake
+// channel, and goroutine — the goroutine parks on its wake channel between
+// lives, see procLoop), and the start event is a plain resume bound to the
+// current token, so steady-state process churn allocates nothing.
 func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	e.nextPID++
-	p := &Proc{
-		e:    e,
-		name: name,
-		id:   e.nextPID,
-		wake: make(chan int, 1),
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		p.token++ // retire any registration that survived the previous life
+		p.started, p.done = false, false
+	} else {
+		p = &Proc{e: e, wake: make(chan int, 1)}
 	}
+	p.name, p.id, p.fn = name, e.nextPID, fn
 	e.live++
 	e.procs[p.id] = p
-	e.schedule(e.now, func() { e.start(p, fn) })
+	e.scheduleResume(p, e.now, wakeStart)
 	return p
 }
 
@@ -347,25 +360,53 @@ func (e *Engine) recycleFlow(p *Proc) {
 	e.flowFree = append(e.flowFree, p)
 }
 
-func (e *Engine) start(p *Proc, fn func(*Proc)) {
+func (e *Engine) start(p *Proc) {
 	p.started = true
 	e.tracer.Trace(e.now, "proc.start", p.name, "")
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, killed := r.(killSentinel); !killed && e.failure == nil {
-					e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
-				}
-			}
-			p.done = true
-			e.live--
-			delete(e.procs, p.id)
-			e.tracer.Trace(e.now, "proc.end", p.name, "")
-			e.parked <- struct{}{}
-		}()
-		fn(p)
-	}()
+	if p.looping {
+		// The Proc came from the pool: its goroutine is already parked in
+		// procLoop on the wake channel. Hand it the new life.
+		p.wake <- wakeStart
+	} else {
+		p.looping = true
+		go e.procLoop(p)
+	}
 	<-e.parked
+}
+
+// procLoop is the body of a pooled process goroutine: run one life, return
+// the Proc to the pool, and park on the wake channel until Spawn assigns the
+// next life (wakeStart) or Shutdown retires the goroutine (wakeRetire).
+func (e *Engine) procLoop(p *Proc) {
+	for {
+		e.runProc(p)
+		if <-p.wake != wakeStart {
+			return
+		}
+	}
+}
+
+// runProc executes one life of process p: the body, panic conversion,
+// end-of-life bookkeeping, recycling, and the handoff back to the engine.
+func (e *Engine) runProc(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, killed := r.(killSentinel); !killed && e.failure == nil {
+				e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+		}
+		p.done = true
+		e.live--
+		delete(e.procs, p.id)
+		e.tracer.Trace(e.now, "proc.end", p.name, "")
+		p.name = ""
+		p.blockKind, p.blockName = "", ""
+		e.procFree = append(e.procFree, p)
+		e.parked <- struct{}{}
+	}()
+	fn := p.fn
+	p.fn = nil
+	fn(p)
 }
 
 // resume wakes process p with the given reason if its wait token still
@@ -373,6 +414,10 @@ func (e *Engine) start(p *Proc, fn func(*Proc)) {
 // are discarded.
 func (e *Engine) resume(p *Proc, token uint64, reason int) {
 	if p.done || p.token != token {
+		return
+	}
+	if reason == wakeStart {
+		e.start(p)
 		return
 	}
 	if p.step != nil {
@@ -514,13 +559,44 @@ func (e *Engine) nextTime() Time {
 // queued and the run can be resumed.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) deadlock() error {
+// Stopped reports whether the last run was halted by Stop. The partitioned
+// executor uses it to propagate one partition's Stop to the whole ensemble.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// At schedules fn to run at absolute virtual time t (clamped to now). The
+// partitioned executor uses it to inject cross-partition deliveries at their
+// precomputed arrival times; fn runs in engine context and must not block.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.schedule(t, fn)
+}
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// (0, false) when no events are queued. The partitioned executor derives the
+// next safe window horizon from it.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.ready.len() == 0 && e.events.Len() == 0 {
+		return 0, false
+	}
+	return e.nextTime(), true
+}
+
+// BlockedProcs returns a sorted description of every live process and what it
+// is blocked on — the payload of a DeadlockError, exposed so the partitioned
+// executor can aggregate liveness reports across engines.
+func (e *Engine) BlockedProcs() []string {
 	var blocked []string
 	for _, p := range e.procs {
 		blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockReason()))
 	}
 	sort.Strings(blocked)
-	return &DeadlockError{At: e.now, Blocked: blocked}
+	return blocked
+}
+
+func (e *Engine) deadlock() error {
+	return &DeadlockError{At: e.now, Blocked: e.BlockedProcs()}
 }
 
 // LiveProcs returns the number of processes that have been spawned and have
@@ -549,9 +625,16 @@ func (e *Engine) Shutdown() {
 				continue
 			}
 			if !victim.started {
-				// Its start event never fired (the run stopped first); there
-				// is no goroutine to unwind.
+				// Its start event never fired (the run stopped first). A
+				// fresh Proc has no goroutine to unwind; a recycled one has
+				// its pooled goroutine parked in procLoop awaiting the life
+				// that now never begins — retire it directly.
+				if victim.looping {
+					victim.wake <- wakeRetire
+					victim.looping = false
+				}
 				victim.done = true
+				victim.fn = nil
 				e.live--
 				delete(e.procs, victim.id)
 				continue
@@ -569,6 +652,14 @@ func (e *Engine) Shutdown() {
 			<-e.parked
 		}
 	}
+	// Retire the idle pooled goroutines (including those of processes killed
+	// above, which re-entered the pool on their way out).
+	for i, p := range e.procFree {
+		p.wake <- wakeRetire
+		p.looping = false
+		e.procFree[i] = nil
+	}
+	e.procFree = nil
 	// Flush buffered trace sinks (sim.Writer and friends) so records are not
 	// lost when the process exits right after Shutdown.
 	if f, ok := e.tracer.(interface{ Flush() error }); ok {

@@ -18,6 +18,14 @@ type Proc struct {
 	started bool
 	done    bool
 
+	// fn holds the body of a spawned process between Spawn and its start
+	// event; the start hands it to the (possibly pooled) goroutine.
+	fn func(*Proc)
+
+	// looping marks a goroutine-backed Proc whose goroutine is pooled:
+	// alive and parked on the wake channel between lives (see procLoop).
+	looping bool
+
 	// step, when non-nil, marks this process as a flow: a state machine
 	// driven by engine callbacks instead of a goroutine (see Engine.SpawnFlow).
 	// The engine invokes step on every wakeup; the function parks by setting
