@@ -59,6 +59,10 @@ type Sweep struct {
 	Parallelism int     `json:"parallelism"`
 	WallS       float64 `json:"wall_s"`
 	SpeedupX    float64 `json:"speedup_x"`
+	// Oversubscribed marks points whose parallelism exceeds the host's CPU
+	// count: their speedup measures scheduling overhead, not scaling, and
+	// must not be read as a parallel-efficiency regression.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // Baseline is the whole report.
@@ -119,6 +123,17 @@ type Baseline struct {
 		RegionWriteChurn Micro `json:"region_write_churn"`
 	} `json:"data_plane"`
 
+	// MemoryFootprint records the extent-arena footprint study: the large
+	// sweep points re-run standalone with peak tracking rebaselined, so the
+	// high-water mark of live extent descriptors and the cumulative Go
+	// allocation are attributable to the point. The arena counters tell the
+	// reclamation story (how many node allocations were recycled vs minted,
+	// and how many nodes epoch closes returned).
+	MemoryFootprint struct {
+		Kernel string           `json:"kernel"`
+		Points []FootprintPoint `json:"points"`
+	} `json:"memory_footprint"`
+
 	// Obs characterizes the observability layer on an observed paper-scale
 	// LU migration: the RDMA chunk-latency distribution, the hottest IB link,
 	// companion latency histograms, and the cost accounting (disabled-path
@@ -157,6 +172,111 @@ type Baseline struct {
 	// before the hot-path overhaul (ready-ring batching, event freelist, ring
 	// wait lists, checksum memoization), for before/after comparison.
 	PreOptimization map[string]any `json:"pre_optimization"`
+}
+
+// FootprintPoint is one rank count of the memory-footprint study.
+type FootprintPoint struct {
+	Ranks            int     `json:"ranks"`
+	WallS            float64 `json:"wall_s"`
+	Events           uint64  `json:"events"`
+	PeakLiveExtents  int64   `json:"peak_live_extents"`
+	FinalLiveExtents int64   `json:"final_live_extents"`
+	AllocMB          float64 `json:"alloc_mb"`
+	ArenaChunks      int64   `json:"arena_chunks"`
+	ArenaRecycled    uint64  `json:"arena_recycled"`
+	ArenaMinted      uint64  `json:"arena_minted"`
+	EpochFrees       uint64  `json:"epoch_frees"`
+	EpochsClosed     uint64  `json:"epochs_closed"`
+	Compactions      uint64  `json:"compactions"`
+	CompactedExts    uint64  `json:"compacted_extents"`
+}
+
+// measureMemory fills the memory_footprint section: the top two sweep points
+// run standalone, with the GC settled and the peak-live-extents high-water
+// mark rebaselined before each, so peaks and allocation deltas belong to the
+// point alone.
+// measureSweepScaling fills the sweep_scaling section: the whole rank ladder
+// at growing exp.RunParallel worker counts, flagging oversubscribed points
+// (parallelism beyond the host's CPUs) so a sub-1x "speedup" on a small host
+// is never mistaken for a scaling regression.
+func measureSweepScaling(b *Baseline, sc exp.Scale, sweepRanks []int) {
+	b.SweepScaling = nil
+	var serialWall float64
+	for _, par := range []int{1, 2, 4, 8} {
+		if par > 2*runtime.NumCPU() && par > 2 {
+			break // oversubscribing further tells us nothing
+		}
+		fmt.Fprintf(os.Stderr, "sweep at parallelism %d...\n", par)
+		exp.SetParallelism(par)
+		payload.ResetChecksumCache()
+		start := time.Now()
+		exp.ScaleSweep(sc, sweepRanks)
+		w := time.Since(start).Seconds()
+		if par == 1 {
+			serialWall = w
+		}
+		sp := Sweep{Parallelism: par, WallS: w, Oversubscribed: par > runtime.NumCPU()}
+		if w > 0 {
+			sp.SpeedupX = serialWall / w
+		}
+		b.SweepScaling = append(b.SweepScaling, sp)
+	}
+	exp.SetParallelism(1)
+}
+
+func measureMemory(b *Baseline, sc exp.Scale, sweepRanks []int) {
+	pts := sweepRanks
+	if len(pts) > 2 {
+		pts = pts[len(pts)-2:]
+	}
+	b.MemoryFootprint.Kernel = "LU"
+	b.MemoryFootprint.Points = nil
+	for _, ranks := range pts {
+		fmt.Fprintf(os.Stderr, "memory footprint (%d ranks)...\n", ranks)
+		payload.ResetChecksumCache()
+		runtime.GC()
+		var ms0 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		payload.ResetPeakLiveExtents()
+		arBefore := metrics.CaptureArena()
+		dpBefore := metrics.CaptureDataPlane()
+		start := time.Now()
+		out := exp.RunMigration(npb.LU, exp.Scale{Class: sc.Class, Ranks: ranks, PPN: sc.PPN, Seed: sc.Seed}, core.Options{}, false)
+		wall := time.Since(start).Seconds()
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		ar := metrics.CaptureArena().Delta(arBefore)
+		dp := metrics.CaptureDataPlane()
+		allocMB := float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20)
+		// This is the same standalone measurement the top_sweep_point section
+		// makes on a full run; keep that section in sync so an incremental
+		// -only memory refresh never leaves the two telling different stories.
+		if ranks == sweepRanks[len(sweepRanks)-1] {
+			d := dp.Delta(dpBefore)
+			b.DataPlane.TopSweepPoint.Ranks = ranks
+			b.DataPlane.TopSweepPoint.WallS = wall
+			b.DataPlane.TopSweepPoint.Events = out.Events
+			b.DataPlane.TopSweepPoint.RegionWrites = d.RegionWrites
+			b.DataPlane.TopSweepPoint.LiveExtents = d.LiveExtents
+			b.DataPlane.TopSweepPoint.MaterializedBytes = d.MaterializedBytes
+			b.DataPlane.TopSweepPoint.AllocMB = allocMB
+		}
+		b.MemoryFootprint.Points = append(b.MemoryFootprint.Points, FootprintPoint{
+			Ranks:            ranks,
+			WallS:            wall,
+			Events:           out.Events,
+			PeakLiveExtents:  ar.PeakLiveExtents,
+			FinalLiveExtents: dp.LiveExtents,
+			AllocMB:          allocMB,
+			ArenaChunks:      ar.Chunks,
+			ArenaRecycled:    ar.Recycled,
+			ArenaMinted:      ar.Minted,
+			EpochFrees:       ar.EpochFrees,
+			EpochsClosed:     ar.EpochsClosed,
+			Compactions:      ar.Compactions,
+			CompactedExts:    ar.CompactedAway,
+		})
+	}
 }
 
 // PartPoint is one point of the partitioned-engine scaling study.
@@ -303,7 +423,7 @@ func measureObs(b *Baseline, sc exp.Scale) {
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
-	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned)")
+	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned, memory, sweep)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -357,8 +477,10 @@ func main() {
 	// Incremental mode: a full regeneration takes minutes, so -only re-measures
 	// one section into the existing file and leaves the rest untouched.
 	if *only != "" {
-		if *only != "obs" && *only != "robustness" && *only != "partitioned" {
-			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned)\n", *only)
+		switch *only {
+		case "obs", "robustness", "partitioned", "memory", "sweep":
+		default:
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned, memory, sweep)\n", *only)
 			os.Exit(2)
 		}
 		data, err := os.ReadFile(*out)
@@ -389,6 +511,18 @@ func main() {
 			last := ps.Points[len(ps.Points)-1]
 			fmt.Printf("updated partitioned_scaling section of %s (%d ranks, serial %.1fs vs %d shards x %d workers %.1fs, %.2fx)\n",
 				*out, ps.Ranks, ps.Points[0].WallS, last.Parts, last.Workers, last.WallS, last.SpeedupX)
+		case "sweep":
+			measureSweepScaling(&b, sc, sweepRanks)
+			writeBaseline(*out, &b)
+			last := b.SweepScaling[len(b.SweepScaling)-1]
+			fmt.Printf("updated sweep_scaling section of %s (%d points, last: parallelism %d, %.1fs, %.2fx, oversubscribed=%v)\n",
+				*out, len(b.SweepScaling), last.Parallelism, last.WallS, last.SpeedupX, last.Oversubscribed)
+		case "memory":
+			measureMemory(&b, sc, sweepRanks)
+			writeBaseline(*out, &b)
+			top := b.MemoryFootprint.Points[len(b.MemoryFootprint.Points)-1]
+			fmt.Printf("updated memory_footprint section of %s (%d ranks: peak %d live extents, %.0f MB allocated, %d recycled / %d minted)\n",
+				*out, top.Ranks, top.PeakLiveExtents, top.AllocMB, top.ArenaRecycled, top.ArenaMinted)
 		}
 		return
 	}
@@ -545,27 +679,10 @@ func main() {
 	b.DataPlane.TopSweepPoint.AllocMB = float64(ms1.TotalAlloc-ms0.TotalAlloc) / (1 << 20)
 
 	// --- sweep scaling ----------------------------------------------------
-	var serialWall float64
-	for _, par := range []int{1, 2, 4, 8} {
-		if par > 2*runtime.NumCPU() && par > 2 {
-			break // oversubscribing further tells us nothing
-		}
-		fmt.Fprintf(os.Stderr, "sweep at parallelism %d...\n", par)
-		exp.SetParallelism(par)
-		payload.ResetChecksumCache()
-		start := time.Now()
-		exp.ScaleSweep(sc, sweepRanks)
-		w := time.Since(start).Seconds()
-		if par == 1 {
-			serialWall = w
-		}
-		sp := Sweep{Parallelism: par, WallS: w}
-		if w > 0 {
-			sp.SpeedupX = serialWall / w
-		}
-		b.SweepScaling = append(b.SweepScaling, sp)
-	}
-	exp.SetParallelism(1)
+	measureSweepScaling(&b, sc, sweepRanks)
+
+	// --- memory footprint -------------------------------------------------
+	measureMemory(&b, sc, sweepRanks)
 
 	// --- partitioned engine ----------------------------------------------
 	measurePartitioned(&b, sc, sweepRanks)

@@ -19,6 +19,7 @@ import (
 
 	"ibmig/internal/check"
 	"ibmig/internal/exp"
+	"ibmig/internal/payload"
 	"ibmig/internal/strategy"
 )
 
@@ -35,8 +36,13 @@ func main() {
 		invs     = flag.Bool("invariants", false, "list registered invariants and exit")
 		parts    = flag.Int("partitions", 0, "run the partitioned-engine invariant sweep with this many partitions per scenario (0 with -workers unset = off; -1 = random 2-5)")
 		workers  = flag.Int("workers", 0, "worker goroutines per partitioned scenario (implies the partitioned sweep; determinism is cross-checked against workers=1)")
+		poison   = flag.Bool("poison", false, "poison retired extent-arena nodes and validate on reuse (use-after-free detector; host-side only, results unchanged)")
 	)
 	flag.Parse()
+
+	if *poison {
+		payload.SetPoisonFreed(true)
+	}
 
 	if _, err := strategy.ByName(*strat); err != nil {
 		fmt.Fprintln(os.Stderr, "protocheck:", err)

@@ -23,6 +23,7 @@ import (
 	"ibmig/internal/metrics"
 	"ibmig/internal/mpi"
 	"ibmig/internal/obs"
+	"ibmig/internal/payload"
 	"ibmig/internal/proc"
 	"ibmig/internal/sim"
 )
@@ -259,6 +260,16 @@ func (r *Runner) Restart(p *sim.Proc) sim.Duration {
 		})
 	}
 	wg.Wait(p)
+	// The restored processes are an offline measurement: verified above, then
+	// consumed. Clearing the scratch tables releases their extent trees —
+	// otherwise every measured restart would leak a full job image's worth of
+	// live extents.
+	for _, tbl := range scratch {
+		tbl.Clear()
+	}
+	// Images are verified and consumed: close the reclamation epoch so extent
+	// nodes retired while streaming them become reusable.
+	payload.AdvanceEpoch()
 	return p.Now().Sub(start)
 }
 
@@ -369,6 +380,23 @@ func (r *Runner) RestartInPlace(p *sim.Proc, placement map[int]string) error {
 	}
 	wg.Wait(p)
 	return firstErr
+}
+
+// Cleanup removes the checkpoint images from storage, returning their
+// extent nodes to the payload arena, and closes the reclamation epoch. Call
+// it once the images are no longer needed — the job completed, or a newer
+// checkpoint superseded them. The image set is consumed: a later Restart
+// must Checkpoint again first. Pure metadata operation, no simulated cost.
+func (r *Runner) Cleanup() {
+	for id, name := range r.files {
+		if r.Target == Ext3 {
+			r.C.Node(r.nodes[id]).FS.Remove(name)
+		} else {
+			r.C.PVFS.Remove(name)
+		}
+	}
+	r.sums, r.files, r.nodes = nil, nil, nil
+	payload.AdvanceEpoch()
 }
 
 // FullCycle checkpoints and then measures the restart, returning the

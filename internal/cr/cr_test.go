@@ -209,3 +209,42 @@ func TestWriteAggregationSpeedsUpCheckpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointCycleExtentLeak is the arena leak guard: a full
+// checkpoint→restart cycle plus Cleanup must return the process-wide
+// live-extent level to its pre-cycle baseline. The baseline is taken after a
+// first cycle so every lazily-materialized region (first TouchMemory, first
+// checkpoint read) is already counted; the second cycle must then be
+// extent-neutral for both storage targets.
+func TestCheckpointCycleExtentLeak(t *testing.T) {
+	for _, target := range []cr.Target{cr.Ext3, cr.PVFS} {
+		e, c, fw, _, _ := launchJob(t)
+		var base, after int64
+		e.Spawn("ctl", func(p *sim.Proc) {
+			fw.W.WaitReady(p)
+			p.Sleep(20 * time.Millisecond)
+			warm := cr.NewRunner(c, fw.W, target, true)
+			warm.FullCycle(p)
+			warm.Cleanup()
+			base = metrics.CaptureDataPlane().LiveExtents
+
+			runner := cr.NewRunner(c, fw.W, target, true)
+			runner.FullCycle(p)
+			if !runner.Verified {
+				t.Errorf("%v: restart lost image identity", target)
+			}
+			runner.Cleanup()
+			after = metrics.CaptureDataPlane().LiveExtents
+			fw.W.WaitDone(p)
+			e.Stop()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		e.Shutdown()
+		if after != base {
+			t.Errorf("%v: live extents %d after cycle+cleanup, want pre-cycle baseline %d (leak of %d)",
+				target, after, base, after-base)
+		}
+	}
+}

@@ -139,9 +139,19 @@ type HCA struct {
 	qps      []*QP // local endpoints, in creation order
 	failed   bool
 
+	// failHooks run at the end of Fail, after every materialized QP here has
+	// been broken. Layers that keep connection state outside the fabric (the
+	// MPI lazy mesh) register here to learn about the fault; hooks survive
+	// Recover so a flapping link fires them again.
+	failHooks []func()
+
 	BytesTx int64
 	BytesRx int64
 }
+
+// OnFail registers fn to run whenever this adapter fails. Hooks run in
+// registration order, after the HCA's own QPs and MRs have been invalidated.
+func (h *HCA) OnFail(fn func()) { h.failHooks = append(h.failHooks, fn) }
 
 // Failed reports whether the adapter (or its link) has been failed.
 func (h *HCA) Failed() bool { return h.failed }
@@ -163,6 +173,9 @@ func (h *HCA) Fail() {
 		q.breakConn()
 		q.peer.breakConn()
 	}
+	for _, fn := range h.failHooks {
+		fn()
+	}
 }
 
 // Recover brings a failed adapter back up, modelling a link that flaps
@@ -178,11 +191,25 @@ func (h *HCA) Node() string { return h.node }
 // Fabric returns the fabric this HCA is attached to.
 func (h *HCA) Fabric() *Fabric { return h.f }
 
+// MRRegisterCost returns the simulated time ibv_reg_mr takes to pin size
+// bytes (base + per-page), for callers that pay the cost up front and
+// materialize the registration later with RegisterMRPrepaid.
+func MRRegisterCost(size int64) sim.Duration {
+	pages := (size + calib.PageSize - 1) / calib.PageSize
+	return calib.IBMRRegisterBase + sim.Duration(pages)*calib.IBMRRegisterPerPage
+}
+
 // RegisterMR pins a memory region and returns its handle. The calling
 // process pays the registration cost (base + per-page), as ibv_reg_mr does.
 func (h *HCA) RegisterMR(p *sim.Proc, region *mem.Region) *MR {
-	pages := (region.Size() + calib.PageSize - 1) / calib.PageSize
-	p.Sleep(calib.IBMRRegisterBase + sim.Duration(pages)*calib.IBMRRegisterPerPage)
+	p.Sleep(MRRegisterCost(region.Size()))
+	return h.RegisterMRPrepaid(region)
+}
+
+// RegisterMRPrepaid pins a memory region whose registration cost has already
+// been paid (see MRRegisterCost). No simulated time passes and no events are
+// scheduled; state mutation is identical to RegisterMR.
+func (h *HCA) RegisterMRPrepaid(region *mem.Region) *MR {
 	h.nextRKey++
 	mr := &MR{hca: h, rkey: h.nextRKey, region: region, valid: !h.failed}
 	if !h.failed {
@@ -259,6 +286,15 @@ type QP struct {
 // are returned already broken, so the first verbs call reports ErrHCADown.
 func ConnectQP(p *sim.Proc, a, b *HCA) (*QP, *QP) {
 	p.Sleep(calib.IBQPSetup)
+	return ConnectQPPrepaid(a, b)
+}
+
+// ConnectQPPrepaid establishes a reliable connection whose setup cost
+// (calib.IBQPSetup) has already been paid by the caller. No simulated time
+// passes and no events are scheduled; the state transitions are identical to
+// ConnectQP — lazy connection schemes use it to materialize an endpoint pair
+// mid-operation without perturbing the event sequence.
+func ConnectQPPrepaid(a, b *HCA) (*QP, *QP) {
 	mk := func(h *HCA) *QP {
 		h.nextQPN++
 		q := &QP{
@@ -371,6 +407,18 @@ func (q *QP) Recv(p *sim.Proc) (Message, bool) {
 
 // TryRecv returns a queued message without blocking.
 func (q *QP) TryRecv() (Message, bool) { return q.recvQ.TryRecv() }
+
+// RecvClosed reports whether the receive queue has been closed (endpoint
+// closed or connection broken) — flows poll it after draining TryRecv.
+func (q *QP) RecvClosed() bool { return q.recvQ.Closed() }
+
+// FlowRecvPark parks the calling flow as a blocked receiver on this
+// endpoint's receive queue (see sim.Queue.FlowRecvPark).
+func (q *QP) FlowRecvPark(p *sim.Proc) { q.recvQ.FlowRecvPark(p) }
+
+// AdoptRecvWaiter registers an already-parked flow as a blocked receiver on
+// this endpoint's receive queue (see sim.Queue.AdoptRecvWaiter).
+func (q *QP) AdoptRecvWaiter(p *sim.Proc) { q.recvQ.AdoptRecvWaiter(p) }
 
 // RecvLen returns the number of delivered-but-unconsumed messages.
 func (q *QP) RecvLen() int { return q.recvQ.Len() }

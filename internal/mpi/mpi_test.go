@@ -214,8 +214,10 @@ func TestSuspendResumeCycleCompletes(t *testing.T) {
 		suspendedAt = p.Now()
 		// Global quiescence: nothing in flight anywhere.
 		for _, r := range w.Ranks() {
-			if len(r.conns) != 0 {
-				t.Errorf("rank %d still has endpoints while suspended", r.ID())
+			for _, c := range r.conns {
+				if c != nil {
+					t.Errorf("rank %d still has endpoints while suspended", r.ID())
+				}
 			}
 		}
 		p.Sleep(20 * time.Millisecond) // the framework would act here
@@ -296,12 +298,16 @@ func TestTeardownRevokesCachedRKeys(t *testing.T) {
 	})
 	e.Spawn("coordinator", func(p *sim.Proc) {
 		w.WaitReady(p)
+		p.Sleep(20 * time.Millisecond)
+		// Connections materialize on first traffic; by now the ring has
+		// exchanged several messages, so every pair is pinned.
 		for _, r := range w.Ranks() {
 			for _, c := range r.conns {
-				oldMRs = append(oldMRs, c.mr)
+				if c != nil && c.mr != nil {
+					oldMRs = append(oldMRs, c.mr)
+				}
 			}
 		}
-		p.Sleep(20 * time.Millisecond)
 		s := w.BeginSuspend()
 		s.WaitAllDrained(p)
 		s.CompleteTeardown()

@@ -12,11 +12,101 @@ import (
 )
 
 // conn is one rank's endpoint of a rank-pair connection.
+//
+// Connections are lazy: connectPair pays the full setup cost (QP bring-up
+// plus both rendezvous-buffer registrations) up front — so the simulated
+// timeline is identical to an eagerly built mesh — but defers the fabric
+// state (QP endpoints, pinned regions, remote keys) until the first message
+// actually crosses the pair. On an N-rank job only the pairs that talk ever
+// materialize; for nearest-neighbour kernels that turns O(N²) QPs, regions
+// and pump state into O(N), which is where the bulk of the 2048-rank memory
+// footprint lived.
 type conn struct {
+	r        *Rank
 	peer     int
-	qp       *ib.QP
-	mr       *ib.MR       // local rendezvous buffer (pinned)
+	qp       *ib.QP       // nil while the connection is lazy
+	mr       *ib.MR       // local rendezvous buffer (pinned); nil while lazy
 	peerRKey ib.RemoteKey // cached remote key of the peer's buffer
+	broken   bool         // an adapter under the lazy pair failed
+	closed   bool         // torn down (suspension, shutdown, FT rebuild)
+	buddy    *conn        // the peer rank's endpoint of the same pair
+	pump     *sim.Proc    // receive pump flow (dormant while lazy)
+}
+
+// logicalErr classifies a verbs call on a still-lazy connection, answering
+// exactly what QP.err would answer had the pair been materialized: a downed
+// adapter on either side dominates, then any form of closure.
+func (c *conn) logicalErr() error {
+	w := c.r.w
+	if !w.hcaUp(c.r.node) || !w.hcaUp(w.ranks[c.peer].node) {
+		return ib.ErrHCADown
+	}
+	if c.broken || c.closed || c.buddy.closed {
+		return ib.ErrQPClosed
+	}
+	return nil
+}
+
+// brokenNow reports whether a send on this connection would fail, the lazy
+// counterpart of QP.Broken.
+func (c *conn) brokenNow() bool {
+	if c.qp != nil {
+		return c.qp.Broken()
+	}
+	return c.logicalErr() != nil
+}
+
+// ensure materializes the pair on first use. No simulated time passes — the
+// setup cost was paid at connectPair — so the event sequence is untouched.
+func (c *conn) ensure() error {
+	if c.qp != nil {
+		return nil
+	}
+	if err := c.logicalErr(); err != nil {
+		return err
+	}
+	c.materialize()
+	return nil
+}
+
+// materialize creates the fabric state for both endpoints of the pair:
+// prepaid QPs, prepaid rendezvous-buffer registrations, crossed remote keys.
+// The dormant pump flows are adopted as receivers on the new queues without
+// waking them, so no event is scheduled. Orientation is canonical (lower
+// rank first), matching the argument order an eager connectPair used.
+func (c *conn) materialize() {
+	a, b := c, c.buddy
+	if b.r.id < a.r.id {
+		a, b = b, a
+	}
+	w := a.r.w
+	ha, hb := w.fabric.HCA(a.r.node), w.fabric.HCA(b.r.node)
+	qa, qb := ib.ConnectQPPrepaid(ha, hb)
+	mra := ha.RegisterMRPrepaid(newRendezvousRegion(w.cfg.RendezvousBufSize, a.r.id, b.r.id))
+	mrb := hb.RegisterMRPrepaid(newRendezvousRegion(w.cfg.RendezvousBufSize, b.r.id, a.r.id))
+	a.qp, a.mr, a.peerRKey = qa, mra, mrb.RKey()
+	b.qp, b.mr, b.peerRKey = qb, mrb, mra.RKey()
+	qa.AdoptRecvWaiter(a.pump)
+	qb.AdoptRecvWaiter(b.pump)
+}
+
+// destroy tears down this endpoint. Materialized: revoke the pinned buffer,
+// release its region's extents back to the arena, close the QP (which wakes
+// the pump off its receive queue to exit). Lazy: mark closed and wake the
+// dormant pump so it can end — unless the fabric already broke the pair, in
+// which case the pump was woken then, mirroring the double-Close no-op on a
+// real queue. The caller clears the conns slot.
+func (c *conn) destroy() {
+	c.closed = true
+	if c.qp != nil {
+		c.mr.Deregister()
+		c.mr.Region().Release()
+		c.qp.Close()
+		return
+	}
+	if !c.broken {
+		c.pump.WakeDetached()
+	}
 }
 
 func newRendezvousRegion(size int64, owner, peer int) *mem.Region {
@@ -56,7 +146,10 @@ type Rank struct {
 	p       *sim.Proc
 	mailbox *sim.Queue[inMsg]
 	unexp   []inMsg
-	conns   map[int]*conn
+	// conns is indexed by peer rank; nil means no connection. A slice keeps
+	// per-rank overhead at one word per peer and makes ascending-peer
+	// iteration (the protocol's deterministic order) a plain scan.
+	conns []*conn
 
 	// OS is the backing simulated process (address space); set by the
 	// cluster layer, checkpointed and migrated by the framework.
@@ -99,18 +192,41 @@ func (r *Rank) poll() {
 	}
 }
 
-// startPump forwards one connection's deliveries into the rank mailbox.
+// startPump spawns the flow that forwards one connection's deliveries into
+// the rank mailbox. As a flow it costs no goroutine or stack — essential for
+// the O(ranks²) pump population — and its event sequence is identical to the
+// goroutine pump it replaced: one start event at spawn, one wake per
+// delivery batch, one end event at teardown.
 func (r *Rank) startPump(c *conn) {
-	r.w.E.Spawn(fmt.Sprintf("mpi.pump.%d<-%d", r.id, c.peer), func(p *sim.Proc) {
-		for {
-			m, ok := c.qp.Recv(p)
-			if !ok {
-				return
-			}
-			h := m.Meta.(wireHdr)
-			r.mailbox.TrySend(inMsg{from: h.From, tag: h.Tag, data: m.Data})
+	c.pump = r.w.E.SpawnFlow(fmt.Sprintf("mpi.pump.%d<-%d", r.id, c.peer), c.pumpStep)
+}
+
+// pumpStep is the pump flow's state machine. While the connection is lazy
+// the flow parks dormant (no queue exists to wait on); materialize adopts it
+// as a receiver without waking it. Each wake drains every delivered message
+// into the mailbox, exactly as the blocking Recv loop did.
+func (c *conn) pumpStep(p *sim.Proc, _ int) {
+	if c.qp == nil {
+		if c.closed || c.broken {
+			p.FlowEnd()
+			return
 		}
-	})
+		p.FlowPark("queue.recv", "mpi.lazy")
+		return
+	}
+	for {
+		m, ok := c.qp.TryRecv()
+		if !ok {
+			break
+		}
+		h := m.Meta.(wireHdr)
+		c.r.mailbox.TrySend(inMsg{from: h.From, tag: h.Tag, data: m.Data})
+	}
+	if c.qp.RecvClosed() {
+		p.FlowEnd()
+		return
+	}
+	c.qp.FlowRecvPark(p)
 }
 
 func (r *Rank) beginOp() {
@@ -176,6 +292,9 @@ func (r *Rank) SendData(to, tag int, data payload.Buffer) {
 // connection after the wire transfer and hands the error back, turning
 // every loss into a retriable failure on the sender's own process.
 func (r *Rank) trySend(c *conn, m ib.Message) error {
+	if err := c.ensure(); err != nil {
+		return err
+	}
 	if !r.w.ftMode && m.Data.Size() <= r.w.cfg.EagerThreshold {
 		return c.qp.PostSend(m)
 	}
@@ -234,7 +353,7 @@ func (r *Rank) reconnectFT(to int) {
 	if peer.finished {
 		return
 	}
-	if c := r.conns[to]; c != nil && !c.qp.Broken() {
+	if c := r.conns[to]; c != nil && !c.brokenNow() {
 		return
 	}
 	if !r.w.hcaUp(r.node) || !r.w.hcaUp(peer.node) {
@@ -254,9 +373,8 @@ func (r *Rank) reconnectFT(to int) {
 			other = r.id
 		}
 		if old := side.conns[other]; old != nil {
-			old.mr.Deregister()
-			old.qp.Close()
-			delete(side.conns, other)
+			old.destroy()
+			side.conns[other] = nil
 		}
 	}
 	lo, hi := r, peer
@@ -341,11 +459,13 @@ func (r *Rank) SendrecvData(to, sendTag int, data payload.Buffer, from, recvTag 
 			panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.id, to))
 		}
 		m := ib.Message{Meta: wireHdr{From: r.id, Tag: sendTag}, MetaSize: wireHdrSize, Data: data}
-		var err error
-		if data.Size() <= r.w.cfg.EagerThreshold {
-			err = c.qp.PostSend(m)
-		} else {
-			err = c.qp.Send(sp, m)
+		err := c.ensure()
+		if err == nil {
+			if data.Size() <= r.w.cfg.EagerThreshold {
+				err = c.qp.PostSend(m)
+			} else {
+				err = c.qp.Send(sp, m)
+			}
 		}
 		if err != nil {
 			panic(fmt.Sprintf("mpi: rank %d sendrecv to %d: %v", r.id, to, err))

@@ -58,11 +58,13 @@ func (r *Rank) IsendData(to, tag int, data payload.Buffer) *Request {
 			panic(fmt.Sprintf("mpi: rank %d has no connection to %d", r.id, to))
 		}
 		m := ib.Message{Meta: wireHdr{From: r.id, Tag: tag}, MetaSize: wireHdrSize, Data: data}
-		var err error
-		if data.Size() <= r.w.cfg.EagerThreshold {
-			err = c.qp.PostSend(m)
-		} else {
-			err = c.qp.Send(sp, m)
+		err := c.ensure()
+		if err == nil {
+			if data.Size() <= r.w.cfg.EagerThreshold {
+				err = c.qp.PostSend(m)
+			} else {
+				err = c.qp.Send(sp, m)
+			}
 		}
 		if err != nil {
 			panic(fmt.Sprintf("mpi: rank %d isend to %d: %v", r.id, to, err))

@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"sort"
-
 	"ibmig/internal/calib"
 	"ibmig/internal/sim"
 )
@@ -97,17 +95,6 @@ func (s *Suspension) WaitAllResumed(p *sim.Proc) {
 	}
 }
 
-// sortedPeers returns the rank's connection peers in ascending order, for
-// deterministic iteration.
-func (r *Rank) sortedPeers() []int {
-	peers := make([]int, 0, len(r.conns))
-	for p := range r.conns {
-		peers = append(peers, p)
-	}
-	sort.Ints(peers)
-	return peers
-}
-
 // doSuspend executes the rank-local side of the suspension protocol. It is
 // invoked at MPI call boundaries (poll) or from a blocked receive when the
 // control message arrives.
@@ -123,11 +110,18 @@ func (r *Rank) doSuspend() {
 	r.opsIdle.Wait(r.p)
 
 	// Drain: one flush-marker round per connection, then wait until the
-	// endpoint has nothing on the wire.
-	for _, peer := range r.sortedPeers() {
-		c := r.conns[peer]
+	// endpoint has nothing on the wire. Peers are visited in ascending order
+	// (the slice index); a still-lazy pair has nothing in flight by
+	// construction, matching an eager endpoint whose idle gate is open —
+	// neither schedules an event.
+	for _, c := range r.conns {
+		if c == nil {
+			continue
+		}
 		r.p.Sleep(calib.DrainRoundCost)
-		c.qp.WaitIdle(r.p)
+		if c.qp != nil {
+			c.qp.WaitIdle(r.p)
+		}
 	}
 	cy.drained.Fire()
 	cy.sus.teardownCmd.Wait(r.p)
@@ -135,13 +129,14 @@ func (r *Rank) doSuspend() {
 	// Teardown: revoke the pinned buffer (invalidating the remote key the
 	// peer cached — InfiniBand state that must not survive a checkpoint) and
 	// close the endpoint.
-	for _, peer := range r.sortedPeers() {
-		c := r.conns[peer]
-		c.mr.Deregister()
-		c.qp.Close()
+	for i, c := range r.conns {
+		if c == nil {
+			continue
+		}
+		c.destroy()
+		r.conns[i] = nil
 		r.p.Sleep(calib.TeardownPerConn)
 	}
-	r.conns = make(map[int]*conn)
 	cy.suspended.Fire()
 	cy.sus.resumeCmd.Wait(r.p)
 

@@ -76,6 +76,11 @@ type World struct {
 	ftMode     bool
 	ftDropped  int64
 	rebuilding map[[2]int]bool // rank pairs with a connection rebuild in flight
+
+	// hooked tracks nodes whose HCA carries our fail hook (lazy connections
+	// have no QP for the fabric to break, so the world must learn of faults
+	// itself). One hook per node, kept across Rebind.
+	hooked map[string]bool
 }
 
 // NewWorld creates a world with one rank per placement entry; placement[i] is
@@ -89,6 +94,7 @@ func NewWorld(e *sim.Engine, fabric *ib.Fabric, placement []string, cfg Config) 
 		done:       sim.NewEvent(e),
 		pmi:        sim.NewResource(e, "mpi.pmi", 1),
 		rebuilding: make(map[[2]int]bool),
+		hooked:     make(map[string]bool),
 	}
 	for i, node := range placement {
 		if fabric.HCA(node) == nil {
@@ -99,11 +105,45 @@ func NewWorld(e *sim.Engine, fabric *ib.Fabric, placement []string, cfg Config) 
 			id:      i,
 			node:    node,
 			mailbox: sim.NewQueue[inMsg](e, fmt.Sprintf("mpi.mbox.%d", i), 0),
-			conns:   make(map[int]*conn),
+			conns:   make([]*conn, len(placement)),
 			opsIdle: sim.NewGate(e, true),
 		})
+		w.hookNode(node)
 	}
 	return w
+}
+
+// hookNode subscribes the world to a node adapter's failures, once per node.
+func (w *World) hookNode(node string) {
+	if w.hooked[node] {
+		return
+	}
+	h := w.fabric.HCA(node)
+	if h == nil {
+		return
+	}
+	w.hooked[node] = true
+	h.OnFail(func() { w.breakLazyConns(node) })
+}
+
+// breakLazyConns marks every still-lazy connection touching the failed node
+// as broken and wakes its dormant pump so it exits — the lazy counterpart of
+// HCA.Fail breaking materialized QPs (which the fabric has already done when
+// this hook runs). Walk order is ascending rank then ascending peer, so the
+// wakeups are deterministic.
+func (w *World) breakLazyConns(node string) {
+	for _, r := range w.ranks {
+		for _, c := range r.conns {
+			if c == nil || c.qp != nil || c.broken || c.closed {
+				continue
+			}
+			if r.node != node && w.ranks[c.peer].node != node {
+				continue
+			}
+			c.broken = true
+			c.pump.WakeDetached()
+		}
+	}
 }
 
 // Size returns the number of ranks.
@@ -192,13 +232,17 @@ func (w *World) WaitDone(p *sim.Proc) { w.done.Wait(p) }
 // Done reports whether all ranks have finished.
 func (w *World) Done() bool { return w.done.Fired() }
 
-// Shutdown closes all connections so pump daemons exit.
+// Shutdown tears down all connections so pump daemons exit, releasing every
+// rendezvous buffer's extents back to the arena.
 func (w *World) Shutdown() {
 	for _, r := range w.ranks {
-		for _, c := range r.conns {
-			c.qp.Close()
+		for i, c := range r.conns {
+			if c == nil {
+				continue
+			}
+			c.destroy()
+			r.conns[i] = nil
 		}
-		r.conns = make(map[int]*conn)
 	}
 }
 
@@ -208,6 +252,7 @@ func (w *World) Shutdown() {
 func (w *World) Rebind(rank int, node string, os *proc.Process) {
 	r := w.ranks[rank]
 	r.node = node
+	w.hookNode(node)
 	if os != nil {
 		r.OS = os
 	}
@@ -222,17 +267,25 @@ func (w *World) BytesSent() int64 {
 	return n
 }
 
-// connectPair establishes the reliable connection between two ranks: QPs on
-// their nodes' HCAs, a registered rendezvous buffer on each side, mutual
-// remote-key caching, and receive pumps feeding each rank's mailbox. The
-// calling process pays the setup costs.
+// connectPair establishes the reliable connection between two ranks. The
+// calling process pays the full setup cost here — QP bring-up plus both
+// rendezvous-buffer registrations, the same three sleeps in the same order
+// the eager mesh paid — but the fabric state itself is created lazily on
+// first use (see conn.materialize with the prepaid ib constructors). Each
+// side's receive pump is spawned now as a dormant flow, so the process
+// start/end trace records match the eager mesh exactly.
 func (w *World) connectPair(p *sim.Proc, a, b *Rank) {
-	ha, hb := w.fabric.HCA(a.node), w.fabric.HCA(b.node)
-	qa, qb := ib.ConnectQP(p, ha, hb)
-	mra := ha.RegisterMR(p, newRendezvousRegion(w.cfg.RendezvousBufSize, a.id, b.id))
-	mrb := hb.RegisterMR(p, newRendezvousRegion(w.cfg.RendezvousBufSize, b.id, a.id))
-	ca := &conn{peer: b.id, qp: qa, mr: mra, peerRKey: mrb.RKey()}
-	cb := &conn{peer: a.id, qp: qb, mr: mrb, peerRKey: mra.RKey()}
+	p.Sleep(calib.IBQPSetup)
+	p.Sleep(ib.MRRegisterCost(w.cfg.RendezvousBufSize))
+	p.Sleep(ib.MRRegisterCost(w.cfg.RendezvousBufSize))
+	ca := &conn{r: a, peer: b.id}
+	cb := &conn{r: b, peer: a.id}
+	ca.buddy, cb.buddy = cb, ca
+	if w.fabric.HCA(a.node).Failed() || w.fabric.HCA(b.node).Failed() {
+		// An eager ConnectQP would have returned endpoints already broken;
+		// the pumps below see the flag on their start step and exit at once.
+		ca.broken, cb.broken = true, true
+	}
 	a.conns[b.id] = ca
 	b.conns[a.id] = cb
 	a.startPump(ca)

@@ -1,0 +1,25 @@
+package obs
+
+import "ibmig/internal/payload"
+
+// RecordArena publishes the extent-arena telemetry as gauges, so exported
+// summaries and Perfetto traces carry the memory-footprint story next to the
+// latency one. Gauges (not counters) because the snapshot is process-wide
+// and cumulative; re-recording is idempotent. Called automatically by
+// Finish; safe on a nil Collector.
+func (c *Collector) RecordArena() {
+	if c == nil {
+		return
+	}
+	s := payload.ArenaSnapshot()
+	c.SetGauge("payload.arena_chunks", float64(s.Chunks))
+	c.SetGauge("payload.arena_free_nodes", float64(s.FreeNodes))
+	c.SetGauge("payload.arena_retired_nodes", float64(s.RetiredNodes))
+	c.SetGauge("payload.arena_recycled", float64(s.Recycled))
+	c.SetGauge("payload.arena_minted", float64(s.Minted))
+	c.SetGauge("payload.arena_epoch_frees", float64(s.EpochFrees))
+	c.SetGauge("payload.arena_epochs_closed", float64(s.EpochsClosed))
+	c.SetGauge("payload.peak_live_extents", float64(s.PeakLiveExtents))
+	c.SetGauge("payload.compactions", float64(s.Compactions))
+	c.SetGauge("payload.compacted_extents", float64(s.CompactedAway))
+}

@@ -237,6 +237,7 @@ func (c *Collector) Finish(t sim.Time) {
 	for _, tr := range c.tracks {
 		tr.finish(t)
 	}
+	c.RecordArena()
 }
 
 // CounterNames, GaugeNames, HistNames and TrackNames return sorted name

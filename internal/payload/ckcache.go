@@ -20,7 +20,12 @@ import (
 // single-threaded, but the parallel sweep runner (internal/exp.RunParallel)
 // runs many engines at once and they all share this cache. Caching affects
 // wall time only, never results, so cross-engine sharing cannot break
-// determinism.
+// determinism — which is also why the partial eviction below may rely on
+// Go's randomized map iteration order.
+//
+// The cache is bounded: each shard evicts a quarter of its entries once it
+// reaches its share of the configured cap, and evictions are counted so a
+// sweep can tell cache pressure apart from cold misses.
 
 type ckKey struct {
 	seed uint64
@@ -31,8 +36,12 @@ type ckKey struct {
 
 const (
 	ckShardCount = 16       // power of two
-	ckShardMax   = 4096     // entries per shard before wholesale eviction
 	ckMinBytes   = 64 << 10 // don't cache parts smaller than this
+
+	// DefaultChecksumCacheCap bounds the cache across all shards. At 32
+	// bytes per entry this caps the memo at ~2 MiB of keys+values — enough
+	// for every image in a 2048-rank sweep, small enough to never matter.
+	DefaultChecksumCacheCap = 16 << 12
 )
 
 type ckShard struct {
@@ -41,10 +50,27 @@ type ckShard struct {
 }
 
 var (
-	ckShards [ckShardCount]ckShard
-	ckHits   atomic.Uint64
-	ckMisses atomic.Uint64
+	ckShards    [ckShardCount]ckShard
+	ckHits      atomic.Uint64
+	ckMisses    atomic.Uint64
+	ckEvictions atomic.Uint64
+	ckShardCap  atomic.Int64
 )
+
+func init() { ckShardCap.Store(DefaultChecksumCacheCap / ckShardCount) }
+
+// SetChecksumCacheCap replaces the total entry cap and returns the previous
+// value. cap <= 0 restores the default. Shards enforce cap/ckShardCount each.
+func SetChecksumCacheCap(entries int) (prev int) {
+	if entries <= 0 {
+		entries = DefaultChecksumCacheCap
+	}
+	per := entries / ckShardCount
+	if per < 1 {
+		per = 1
+	}
+	return int(ckShardCap.Swap(int64(per))) * ckShardCount
+}
 
 func ckIndex(k ckKey) int {
 	return int(mix64(k.seed^uint64(k.off)*0x9e3779b97f4a7c15^uint64(k.n)^k.hIn) & (ckShardCount - 1))
@@ -67,18 +93,33 @@ func ckLookup(seed uint64, off, n int64, hIn uint64) (uint64, bool) {
 func ckStore(seed uint64, off, n int64, hIn, hOut uint64) {
 	k := ckKey{seed, off, n, hIn}
 	sh := &ckShards[ckIndex(k)]
+	cap := int(ckShardCap.Load())
 	sh.mu.Lock()
-	if sh.m == nil || len(sh.m) >= ckShardMax {
-		sh.m = make(map[ckKey]uint64, ckShardMax/4)
+	if sh.m == nil {
+		sh.m = make(map[ckKey]uint64, cap/4)
+	} else if len(sh.m) >= cap {
+		// Evict a quarter of the shard. Which quarter is up to the map's
+		// iteration order; a memo cache only trades wall time for memory,
+		// so the choice cannot affect simulated results.
+		drop := len(sh.m)/4 + 1
+		evicted := uint64(0)
+		for k := range sh.m {
+			delete(sh.m, k)
+			evicted++
+			if evicted == uint64(drop) {
+				break
+			}
+		}
+		ckEvictions.Add(evicted)
 	}
 	sh.m[k] = hOut
 	sh.mu.Unlock()
 }
 
-// ChecksumCacheStats returns cumulative hit/miss counts for the synthetic
-// checksum cache (for benchmarks and tests).
-func ChecksumCacheStats() (hits, misses uint64) {
-	return ckHits.Load(), ckMisses.Load()
+// ChecksumCacheStats returns cumulative hit/miss/eviction counts for the
+// synthetic checksum cache (for benchmarks and tests).
+func ChecksumCacheStats() (hits, misses, evictions uint64) {
+	return ckHits.Load(), ckMisses.Load(), ckEvictions.Load()
 }
 
 // ResetChecksumCache empties the cache and zeroes its counters.
@@ -91,4 +132,5 @@ func ResetChecksumCache() {
 	}
 	ckHits.Store(0)
 	ckMisses.Store(0)
+	ckEvictions.Store(0)
 }

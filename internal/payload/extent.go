@@ -26,10 +26,23 @@ import "fmt"
 // single extent regardless of write history.
 //
 // The zero value is an empty, ready-to-use tree.
+//
+// Nodes are allocated from the slab arena (see arena.go): each tree owns a
+// private free list plus an epoch-tagged retire list, so splice churn reuses
+// nodes without a GC round trip and Tree.Release returns everything to the
+// global pool when the owning lifecycle (region, file, checkpoint image)
+// closes.
 type Tree struct {
 	root *extNode
 	prng uint64 // deterministic priority stream
 	ins  []Part // scratch for splice insertions, reused across calls
+
+	// Arena state (host-side only; see arena.go).
+	free        *extNode // tree-local free list, reusable now
+	retired     *extNode // awaiting the close of retireEpoch
+	freeN       int64
+	retiredN    int64
+	retireEpoch uint64 // epoch the current retired batch belongs to
 }
 
 type extNode struct {
@@ -69,8 +82,10 @@ func ncnt(n *extNode) int32 {
 
 func (t *Tree) newNode(p Part) *extNode {
 	t.prng++
-	liveExtents.Add(1)
-	return &extNode{part: p, pri: mix64(t.prng), bytes: p.Size(), cnt: 1}
+	notePeak(liveExtents.Add(1))
+	n := t.alloc()
+	n.part, n.pri, n.bytes, n.cnt = p, mix64(t.prng), p.Size(), 1
+	return n
 }
 
 // upd recomputes n's subtree aggregates after a child change.
@@ -192,12 +207,15 @@ func setFirstPart(n *extNode, p Part) {
 }
 
 // dropLast removes the rightmost extent of n, returning the remaining tree.
-func dropLast(n *extNode) *extNode {
+// The removed node is retired into the tree's current epoch.
+func (t *Tree) dropLast(n *extNode) *extNode {
 	if n.right == nil {
 		liveExtents.Add(-1)
-		return n.left
+		l := n.left
+		t.retireNode(n)
+		return l
 	}
-	n.right = dropLast(n.right)
+	n.right = t.dropLast(n.right)
 	return upd(n)
 }
 
@@ -215,6 +233,7 @@ func (t *Tree) Splice(off, del int64, b Buffer) {
 	mid, right := t.split(rest, del)
 	if mid != nil {
 		liveExtents.Add(-int64(mid.cnt))
+		t.retireAll(mid)
 	}
 
 	// Collect the insertion run, coalescing internally.
@@ -252,7 +271,7 @@ func (t *Tree) Splice(off, del int64, b Buffer) {
 	if len(ins) == 0 && left != nil && right != nil {
 		if m, ok := coalesce(lastNode(left).part, firstNode(right).part); ok {
 			extentMerges.Add(1)
-			left = dropLast(left)
+			left = t.dropLast(left)
 			setFirstPart(right, m)
 		}
 	}
@@ -345,4 +364,60 @@ func feedTree(n *extNode, s *hasher) {
 	feedTree(n.left, s)
 	n.part.feed(s)
 	feedTree(n.right, s)
+}
+
+// Compact re-coalesces the whole tree: adjacent extents that continue the
+// same synthetic stream (or are contiguous real-byte slices) but ended up as
+// separate nodes — typically after interleaved partial overwrites under
+// aggregation-pool churn — are merged, and the tree is rebuilt from the
+// shorter run. Returns the number of extents eliminated (0 when the tree is
+// already fully coalesced, in which case nothing is rebuilt).
+//
+// Content is untouched, so compaction is host-side only: simulated reads and
+// checksums are identical before and after. Reclaimed nodes bypass the epoch
+// delay — at this point the tree provably holds the only references.
+func (t *Tree) Compact() int {
+	n := int(ncnt(t.root))
+	if n <= 1 {
+		return 0
+	}
+	parts := t.ins[:0]
+	parts = compactCollect(t.root, parts)
+	t.ins = parts[:0]
+	if len(parts) == n {
+		return 0
+	}
+	liveExtents.Add(-int64(n))
+	t.retireAll(t.root)
+	t.root = nil
+	t.flushRetired()
+	var root *extNode
+	for _, p := range parts {
+		root = emerge(root, t.newNode(p))
+	}
+	t.root = root
+	reclaimed := n - len(parts)
+	compactions.Add(1)
+	compactedAway.Add(uint64(reclaimed))
+	return reclaimed
+}
+
+// compactCollect appends n's parts to out in content order, coalescing
+// adjacent runs as it goes.
+func compactCollect(n *extNode, out []Part) []Part {
+	if n == nil {
+		return out
+	}
+	out = compactCollect(n.left, out)
+	if len(out) > 0 {
+		if m, ok := coalesce(out[len(out)-1], n.part); ok {
+			extentMerges.Add(1)
+			out[len(out)-1] = m
+		} else {
+			out = append(out, n.part)
+		}
+	} else {
+		out = append(out, n.part)
+	}
+	return compactCollect(n.right, out)
 }

@@ -78,6 +78,15 @@ func (pr *Process) Segment(name string) *Segment {
 	return nil
 }
 
+// Release returns every segment's extent nodes to the payload arena. Called
+// when the process's lifecycle ends: it exited, or its image has migrated
+// away and the source copy is being discarded.
+func (pr *Process) Release() {
+	for _, s := range pr.Segments {
+		s.Region.Release()
+	}
+}
+
 // Table is a per-node process table.
 type Table struct {
 	Node    string
@@ -110,12 +119,24 @@ func (t *Table) Adopt(pr *Process) error {
 	return nil
 }
 
-// Remove deletes a process from the table (exit or migration away).
-func (t *Table) Remove(pid int) { delete(t.procs, pid) }
+// Remove deletes a process from the table (exit or migration away), returning
+// its memory to the payload arena.
+func (t *Table) Remove(pid int) {
+	if pr := t.procs[pid]; pr != nil {
+		pr.Release()
+	}
+	delete(t.procs, pid)
+}
 
 // Clear empties the table — every process is gone at once, as when the node
-// hosting it crashes.
-func (t *Table) Clear() { t.procs = make(map[int]*Process) }
+// hosting it crashes. Segment memory is returned to the arena: the simulated
+// images die with the node, and any checkpoint copy lives in the VFS.
+func (t *Table) Clear() {
+	for _, pr := range t.procs {
+		pr.Release()
+	}
+	t.procs = make(map[int]*Process)
+}
 
 // Get returns the process with the given PID, or nil.
 func (t *Table) Get(pid int) *Process { return t.procs[pid] }

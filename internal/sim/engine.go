@@ -37,7 +37,14 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"ibmig/internal/payload"
 )
+
+// epochEveryEvents is how often (in dispatched events, power of two) the run
+// loop closes a payload reclamation epoch. Purely host-side: epoch closes
+// gate when retired extent nodes may be reused, never simulated behaviour.
+const epochEveryEvents = 1 << 16
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation.
@@ -525,6 +532,12 @@ func (e *Engine) run(deadline Time) error {
 		ev := e.popEvent()
 		e.now = ev.t
 		e.dispatched++
+		if e.dispatched&(epochEveryEvents-1) == 0 {
+			// Close a payload reclamation epoch periodically so extent nodes
+			// retired by splice churn become reusable during long runs, not
+			// only when their owning lifecycle ends (see payload.AdvanceEpoch).
+			payload.AdvanceEpoch()
+		}
 		if fn := ev.fn; fn != nil {
 			e.freeEvent(ev)
 			fn()

@@ -87,6 +87,20 @@ func (p *Proc) FlowSleep(d Duration) {
 	p.flowPark("sleep", "")
 }
 
+// FlowPark parks the flow on an externally-managed wait: no event is
+// scheduled and no waiter is registered anywhere. Some other party must
+// later wake it with WakeDetached or register it with Queue.AdoptRecvWaiter.
+// kind and name label the blocked-on state for deadlock reports. Must be the
+// last simulated action of the current step.
+func (p *Proc) FlowPark(kind, name string) { p.flowPark(kind, name) }
+
+// WakeDetached schedules an immediate resume of a flow parked with FlowPark.
+// It pushes the same current-time resume event a queue or event wakeup does.
+// Must be called from engine context (another process or an engine callback),
+// and only while the flow is parked without a registration — a flow woken
+// through two paths would consume a wakeup meant for another life.
+func (p *Proc) WakeDetached() { waiter{p, p.token}.wake(wakeSignal) }
+
 // FlowEnd terminates the flow, emitting the same proc.end trace record a
 // goroutine-backed process emits when its function returns. The Proc is
 // recycled; the caller must not touch it afterwards.

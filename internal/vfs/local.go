@@ -90,7 +90,7 @@ func (fs *FileSystem) Create(p *sim.Proc, name string) *File {
 		fs.order = append(fs.order, f)
 	} else {
 		fs.uncache(f)
-		f.c = content{}
+		f.c.release()
 	}
 	fs.disk.Op(p)
 	f.opens++
@@ -120,6 +120,7 @@ func (fs *FileSystem) Remove(name string) {
 		return
 	}
 	fs.uncache(f)
+	f.c.release()
 	f.removed = true
 	delete(fs.files, name)
 	for i, of := range fs.order {

@@ -100,7 +100,7 @@ func (pv *PVFS) Create(p *sim.Proc, clientNode, name string) *Handle {
 		pv.created++
 		pv.files[name] = f
 	} else {
-		f.c = content{}
+		f.c.release()
 	}
 	return pv.open(f, clientNode)
 }
@@ -125,8 +125,15 @@ func (pv *PVFS) open(f *pvfsFile, clientNode string) *Handle {
 // Exists reports whether the named file exists.
 func (pv *PVFS) Exists(name string) bool { return pv.files[name] != nil }
 
-// Remove deletes a file.
-func (pv *PVFS) Remove(name string) { delete(pv.files, name) }
+// Remove deletes a file, returning its extent nodes to the payload arena.
+func (pv *PVFS) Remove(name string) {
+	f := pv.files[name]
+	if f == nil {
+		return
+	}
+	f.c.release()
+	delete(pv.files, name)
+}
 
 // server returns the data server holding the stripe containing offset off.
 func (pv *PVFS) server(f *pvfsFile, off int64) *PVFSServer {
