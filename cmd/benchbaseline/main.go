@@ -168,6 +168,25 @@ type Baseline struct {
 		Burst3       []StrategyArm `json:"three_failure_burst"`
 	} `json:"robustness"`
 
+	// Telemetry records the streaming-telemetry overhead: the same observed
+	// paper-scale migration run with the live sink off and on (a subscriber
+	// ring drained concurrently, the cmd/obsserve shape). The simulated
+	// results are bit-identical either way (TestGoldenTraceStreamEnabled);
+	// this section prices the host-side cost of watching.
+	Telemetry struct {
+		Kernel string `json:"kernel"`
+		// Engine events per wall second with no sink vs a live sink attached,
+		// and the relative slowdown.
+		SinkOffEventsPerSec float64 `json:"sink_off_events_per_sec"`
+		SinkOnEventsPerSec  float64 `json:"sink_on_events_per_sec"`
+		OverheadPct         float64 `json:"overhead_pct"`
+		// What the sink actually carried: telemetry events delivered to the
+		// subscriber and events lost to ring overflow (0 with a keeping-up
+		// consumer).
+		SinkEvents  uint64 `json:"sink_events"`
+		SinkDropped uint64 `json:"sink_dropped"`
+	} `json:"telemetry"`
+
 	// PreOptimization pins the numbers measured on the same host immediately
 	// before the hot-path overhaul (ready-ring batching, event freelist, ring
 	// wait lists, checksum memoization), for before/after comparison.
@@ -420,10 +439,37 @@ func measureObs(b *Baseline, sc exp.Scale) {
 	b.Obs.DisabledPathAllocs = r.AllocsPerOp()
 }
 
+// measureTelemetry fills the telemetry section: the observed paper-scale
+// migration with the sink off, then again with a live subscriber ring drained
+// concurrently, priced as engine events per wall second.
+func measureTelemetry(b *Baseline, sc exp.Scale) {
+	fmt.Fprintln(os.Stderr, "streaming telemetry overhead (telemetry section)...")
+	b.Telemetry.Kernel = "LU"
+	payload.ResetChecksumCache()
+	start := time.Now()
+	offOut, _ := exp.RunMigrationObserved(npb.LU, sc, core.Options{}, false)
+	offWall := time.Since(start).Seconds()
+	payload.ResetChecksumCache()
+	start = time.Now()
+	onOut, _, stats := exp.RunMigrationStreamed(npb.LU, sc, core.Options{}, false, 1<<16)
+	onWall := time.Since(start).Seconds()
+	if offWall > 0 {
+		b.Telemetry.SinkOffEventsPerSec = float64(offOut.Events) / offWall
+	}
+	if onWall > 0 {
+		b.Telemetry.SinkOnEventsPerSec = float64(onOut.Events) / onWall
+	}
+	if offWall > 0 {
+		b.Telemetry.OverheadPct = (onWall/offWall - 1) * 100
+	}
+	b.Telemetry.SinkEvents = stats.Events
+	b.Telemetry.SinkDropped = stats.Dropped
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
-	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned, memory, sweep)")
+	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned, memory, sweep, telemetry)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -478,9 +524,9 @@ func main() {
 	// one section into the existing file and leaves the rest untouched.
 	if *only != "" {
 		switch *only {
-		case "obs", "robustness", "partitioned", "memory", "sweep":
+		case "obs", "robustness", "partitioned", "memory", "sweep", "telemetry":
 		default:
-			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned, memory, sweep)\n", *only)
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned, memory, sweep, telemetry)\n", *only)
 			os.Exit(2)
 		}
 		data, err := os.ReadFile(*out)
@@ -523,6 +569,12 @@ func main() {
 			top := b.MemoryFootprint.Points[len(b.MemoryFootprint.Points)-1]
 			fmt.Printf("updated memory_footprint section of %s (%d ranks: peak %d live extents, %.0f MB allocated, %d recycled / %d minted)\n",
 				*out, top.Ranks, top.PeakLiveExtents, top.AllocMB, top.ArenaRecycled, top.ArenaMinted)
+		case "telemetry":
+			measureTelemetry(&b, sc)
+			writeBaseline(*out, &b)
+			fmt.Printf("updated telemetry section of %s (sink off %.2f Mev/s, on %.2f Mev/s, overhead %.1f%%, %d events streamed, %d dropped)\n",
+				*out, b.Telemetry.SinkOffEventsPerSec/1e6, b.Telemetry.SinkOnEventsPerSec/1e6,
+				b.Telemetry.OverheadPct, b.Telemetry.SinkEvents, b.Telemetry.SinkDropped)
 		}
 		return
 	}
@@ -692,6 +744,9 @@ func main() {
 
 	// --- observability ----------------------------------------------------
 	measureObs(&b, sc)
+
+	// --- streaming telemetry ----------------------------------------------
+	measureTelemetry(&b, sc)
 
 	// Measured 2026-08-05 on the same host (1 vCPU) at commit 6f7b7e9,
 	// immediately before the overhaul.

@@ -19,6 +19,7 @@ import (
 
 	"ibmig/internal/check"
 	"ibmig/internal/exp"
+	"ibmig/internal/obs"
 	"ibmig/internal/payload"
 	"ibmig/internal/strategy"
 )
@@ -37,11 +38,18 @@ func main() {
 		parts    = flag.Int("partitions", 0, "run the partitioned-engine invariant sweep with this many partitions per scenario (0 with -workers unset = off; -1 = random 2-5)")
 		workers  = flag.Int("workers", 0, "worker goroutines per partitioned scenario (implies the partitioned sweep; determinism is cross-checked against workers=1)")
 		poison   = flag.Bool("poison", false, "poison retired extent-arena nodes and validate on reuse (use-after-free detector; host-side only, results unchanged)")
+		flight   = flag.Bool("flight-dump", false, "include the flight recorder's telemetry tail in every result, not just failures")
 	)
 	flag.Parse()
 
 	if *poison {
 		payload.SetPoisonFreed(true)
+		// Strict telemetry posture rides along: misuse of the obs API (e.g.
+		// histogram bucket-bound mismatches) panics instead of being ignored.
+		obs.SetStrict(true)
+	}
+	if *flight {
+		check.SetFlightDump(true)
 	}
 
 	if _, err := strategy.ByName(*strat); err != nil {
@@ -130,6 +138,12 @@ func runOne(spec, jsonOut string, shrink bool) {
 	fmt.Printf("scenario: %s\n", res.Spec)
 	fmt.Printf("  attempts=%d completed=%d aborted=%d retries=%d fallbacks=%d job_lost=%v app_done=%v\n",
 		res.Attempts, res.Completed, res.Aborted, res.Retries, res.Fallbacks, res.JobLost, res.AppDone)
+	if len(res.Flight) > 0 {
+		fmt.Println("  flight recorder tail:")
+		for _, line := range res.Flight {
+			fmt.Printf("    %s\n", line)
+		}
+	}
 	writeJSON(jsonOut, res)
 	if !res.Failed() {
 		fmt.Println("  all invariants hold")

@@ -1,14 +1,18 @@
-// Command tracecheck validates a Chrome trace-event JSON file produced by
-// migsim -trace-out (or any exporter): well-formed JSON, a traceEvents array,
-// monotonic per-track timestamps, and balanced, properly nested B/E pairs.
-// It exits non-zero with a diagnostic on the first violation — the CI gate
-// that keeps exported timelines Perfetto-loadable.
+// Command tracecheck validates exported telemetry. By default it checks
+// Chrome trace-event JSON files produced by migsim -trace-out (or any
+// exporter): well-formed JSON, a traceEvents array, monotonic per-track
+// timestamps, and balanced, properly nested B/E pairs. With -sse it instead
+// validates captured Server-Sent-Events streams from obsserve /stream: every
+// data line a known-kind JSON WireEvent with its required fields, timestamps
+// nondecreasing. It exits non-zero with a diagnostic on the first violation —
+// the CI gate that keeps exported timelines loadable and streams parseable.
 //
-// Usage: tracecheck FILE.json [FILE.json ...]
+// Usage: tracecheck [-sse] FILE [FILE ...]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,16 +20,27 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE.json [FILE.json ...]")
+	sse := flag.Bool("sse", false, "validate Server-Sent-Events captures (obsserve /stream) instead of Chrome traces")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-sse] FILE [FILE ...]")
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			failed = true
+			continue
+		}
+		if *sse {
+			if err := obs.ValidateSSE(data); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s: ok (sse)\n", path)
 			continue
 		}
 		if err := obs.ValidateChromeTrace(data); err != nil {

@@ -12,13 +12,15 @@ import (
 )
 
 // Violation is one invariant breach, stamped with the sim time it was
-// detected at and the obs spans open at that instant (the protocol context:
-// which attempt, which phase, which rank operations were in flight).
+// detected at, the obs spans open at that instant (the protocol context:
+// which attempt, which phase, which rank operations were in flight), and the
+// flight recorder's tail (the telemetry leading up to the breach).
 type Violation struct {
 	Invariant string   `json:"invariant"`
 	Detail    string   `json:"detail"`
 	T         sim.Time `json:"t_ns"`
 	Spans     []string `json:"spans,omitempty"`
+	Flight    []string `json:"flight,omitempty"`
 }
 
 func (v Violation) String() string {
@@ -38,6 +40,7 @@ type probe struct {
 	c   *cluster.Cluster
 	jm  *core.JobManager
 	col *obs.Collector
+	fr  *obs.FlightRecorder
 	inj *fault.Injector
 
 	clock  clockWatch

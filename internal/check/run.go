@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ibmig/internal/cluster"
@@ -49,10 +50,41 @@ type Result struct {
 	Faults           int    `json:"faults"`
 	Events           uint64 `json:"events"`
 	SimNS            int64  `json:"sim_ns"`
+
+	// Flight is the flight recorder's tail: the last telemetry events before
+	// the run ended. Populated on failure, or always under SetFlightDump.
+	Flight []string `json:"flight,omitempty"`
 }
+
+// flightDump forces Result.Flight to be populated even on passing runs
+// (protocheck -flight-dump). Set before a sweep starts.
+var flightDump atomic.Bool
+
+// SetFlightDump toggles unconditional flight-tail reporting.
+func SetFlightDump(on bool) { flightDump.Store(on) }
 
 // Failed reports whether any invariant was violated.
 func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// annotate attaches protocol context to the result: per-violation, the spans
+// open at the violation's timestamp and the flight recorder's tail (the
+// telemetry leading up to the breach); and, on failure or under
+// SetFlightDump, the run-level flight tail.
+func annotate(res *Result, pr *probe) {
+	for i := range res.Violations {
+		v := &res.Violations[i]
+		if spans := pr.col.ActiveAt(v.T); len(spans) > 0 {
+			if len(spans) > 6 {
+				spans = spans[:6]
+			}
+			v.Spans = spans
+		}
+		v.Flight = pr.fr.Strings(8)
+	}
+	if res.Failed() || flightDump.Load() {
+		res.Flight = pr.fr.Strings(24)
+	}
+}
 
 // victim resolves a fault role to a concrete node name for this cluster.
 func victim(role Role, c *cluster.Cluster, src string) string {
@@ -99,6 +131,8 @@ func RunScenario(sc Scenario) (res *Result) {
 		e.EnablePerturbation(sc.Perturb)
 	}
 	pr.col = obs.New()
+	pr.fr = obs.NewFlightRecorder(0)
+	pr.col.AttachFlight(pr.fr)
 	e.SetObsData(pr.col)
 	pr.c = cluster.New(e, cluster.Config{
 		ComputeNodes: sc.Ranks / sc.PPN,
@@ -168,16 +202,7 @@ func RunScenario(sc Scenario) (res *Result) {
 	for _, inv := range Registry() {
 		res.Violations = append(res.Violations, inv.Check(pr)...)
 	}
-	// Attach span context: what the protocol was doing at each violation.
-	for i := range res.Violations {
-		v := &res.Violations[i]
-		if spans := pr.col.ActiveAt(v.T); len(spans) > 0 {
-			if len(spans) > 6 {
-				spans = spans[:6]
-			}
-			v.Spans = spans
-		}
-	}
+	annotate(res, pr)
 
 	for _, a := range pr.fw.Attempts {
 		if a.Completed {

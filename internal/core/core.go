@@ -251,6 +251,11 @@ type AttemptRecord struct {
 	// value on a completed attempt is a buffer leak. -1 means the attempt
 	// never reached that point (aborted mid-transfer).
 	PoolOutstanding int64
+
+	// Flight is the telemetry tail leading up to a terminal failure: the
+	// collector's flight-recorder events at the instant the attempt was
+	// recorded. Empty for completed attempts or when no recorder is attached.
+	Flight []string
 }
 
 // recordAttempt appends m's terminal record once.
@@ -259,7 +264,7 @@ func (fw *Framework) recordAttempt(m *migrationState, completed bool) {
 		return
 	}
 	m.recorded = true
-	fw.Attempts = append(fw.Attempts, AttemptRecord{
+	rec := AttemptRecord{
 		Seq:             m.seq,
 		Src:             m.src,
 		Dst:             m.dst,
@@ -269,7 +274,13 @@ func (fw *Framework) recordAttempt(m *migrationState, completed bool) {
 		SrcVacated:      m.srcVacated,
 		RestartResends:  m.restartResends,
 		PoolOutstanding: m.poolOutstanding,
-	})
+	}
+	if !completed {
+		// Terminal failure: capture the black box (nil-safe when no collector
+		// or no flight recorder is attached).
+		rec.Flight = fw.obsC().Flight().Strings(8)
+	}
+	fw.Attempts = append(fw.Attempts, rec)
 }
 
 // LastVerified reports whether the most recent migration cycle's restored

@@ -133,6 +133,99 @@ func (cr *CampaignResult) Best() *StrategyResult {
 	return best
 }
 
+// ArmUpdate is one live rollup snapshot from a running campaign arm —
+// what a telemetry consumer (cmd/obsserve's /stream) sees while the arms
+// race, before any final StrategyResult exists.
+type ArmUpdate struct {
+	Strategy string `json:"strategy"`
+	// SimNS is the arm's virtual elapsed time since the job became ready.
+	SimNS int64 `json:"sim_ns"`
+	// ProgressPct is the fraction of total rank-iterations finished, ×100.
+	ProgressPct float64 `json:"progress_pct"`
+	// GoodputSoFarPct is 100 × baseline × progress / elapsed: the goodput the
+	// arm would score if it kept its current pace. 0 until a baseline exists.
+	GoodputSoFarPct float64 `json:"goodput_pct"`
+	// MTTRSoFarNS is the mean duration of the successful recoveries so far.
+	MTTRSoFarNS int64 `json:"mttr_ns"`
+	Attempts    int   `json:"attempts"`
+	Migrations  int   `json:"migrations"`
+	Restarts    int   `json:"restarts"`
+	// Done marks the arm's final update (sent once, after the run ends).
+	Done      bool `json:"done,omitempty"`
+	Completed bool `json:"completed,omitempty"`
+	JobLost   bool `json:"job_lost,omitempty"`
+}
+
+// armUpdateEvery is how many 1 ms control polls separate live rollups — a
+// ~50 ms virtual-time cadence, frequent enough to watch and cheap enough to
+// never matter.
+const armUpdateEvery = 50
+
+// armSnapshot assembles a live rollup from an arm's running state. Called on
+// the arm's engine goroutine; everything it reads is engine-local.
+func armSnapshot(name string, baselineNS int64, elapsed sim.Duration, fw *core.Framework, jm *core.JobManager, w npb.Workload, res *npb.Result) ArmUpdate {
+	u := ArmUpdate{
+		Strategy:   name,
+		SimNS:      int64(elapsed),
+		Attempts:   len(fw.Attempts),
+		Migrations: jm.MigrationsDone,
+		Restarts:   jm.ReactiveRestarts,
+	}
+	if total := w.Iterations * len(res.IterDone); total > 0 {
+		done := 0
+		for _, n := range res.IterDone {
+			done += n
+		}
+		frac := float64(done) / float64(total)
+		u.ProgressPct = 100 * frac
+		if baselineNS > 0 && elapsed > 0 {
+			u.GoodputSoFarPct = 100 * float64(baselineNS) * frac / float64(elapsed)
+		}
+	}
+	var mttr int64
+	recovered := 0
+	for _, rec := range fw.Recoveries {
+		if rec.Ok {
+			recovered++
+			mttr += int64(rec.End.Sub(rec.Start))
+		}
+	}
+	if recovered > 0 {
+		u.MTTRSoFarNS = mttr / int64(recovered)
+	}
+	return u
+}
+
+// RunCampaignLive is RunCampaign with a live rollup stream: while the arms
+// run, each emits periodic ArmUpdates (progress, goodput-so-far, MTTR,
+// attempts) through update, ending with one Done update per arm. The baseline
+// is measured first — serially — so goodput-so-far is computable from the
+// first rollup; the arms then race in parallel exactly as in RunCampaign, and
+// the returned result is identical to RunCampaign's (the callback is
+// host-side bookkeeping on each arm's poll loop and cannot perturb the
+// simulation). update is called concurrently from the arm engines' goroutines
+// and must be goroutine-safe; nil degrades to RunCampaign behavior.
+func RunCampaignLive(spec CampaignSpec, update func(ArmUpdate)) *CampaignResult {
+	spec = spec.withDefaults()
+	out := &CampaignResult{Spec: spec, Results: make([]StrategyResult, len(spec.Strategies))}
+	out.BaselineNS = int64(campaignBaseline(spec))
+	tasks := make([]func(), 0, len(spec.Strategies))
+	for i, name := range spec.Strategies {
+		i, name := i, name
+		tasks = append(tasks, func() {
+			out.Results[i] = runCampaignArmLive(spec, name, out.BaselineNS, update)
+		})
+	}
+	RunParallel(tasks...)
+	for i := range out.Results {
+		r := &out.Results[i]
+		if r.Completed && r.AppNS > 0 {
+			r.GoodputPct = 100 * float64(out.BaselineNS) / float64(r.AppNS)
+		}
+	}
+	return out
+}
+
 // failureSchedule is the deterministic fault plan every arm shares: failure i
 // kills victims[i] at ready+times[i]; predicted[i] failures announce
 // themselves lead earlier.
@@ -293,6 +386,13 @@ func campaignBaseline(spec CampaignSpec) sim.Duration {
 
 // runCampaignArm runs one strategy against the shared failure schedule.
 func runCampaignArm(spec CampaignSpec, name string) StrategyResult {
+	return runCampaignArmLive(spec, name, 0, nil)
+}
+
+// runCampaignArmLive is runCampaignArm with optional live rollups: when
+// update is non-nil, the control loop emits an ArmUpdate every armUpdateEvery
+// polls and a final Done update after the engine shuts down.
+func runCampaignArmLive(spec CampaignSpec, name string, baselineNS int64, update func(ArmUpdate)) StrategyResult {
 	strat, err := strategy.ByName(name)
 	if err != nil {
 		panic("exp: " + err.Error())
@@ -401,8 +501,12 @@ func runCampaignArm(spec CampaignSpec, name string) StrategyResult {
 	e.Spawn("campaign.ctl", func(p *sim.Proc) {
 		fw.W.WaitReady(p)
 		start := p.Now()
+		polls := 0
 		for !fw.W.Done() && !jm.JobLost {
 			p.Sleep(time.Millisecond)
+			if polls++; update != nil && polls%armUpdateEvery == 0 {
+				update(armSnapshot(name, baselineNS, p.Now().Sub(start), fw, jm, w, res))
+			}
 		}
 		appNS = int64(p.Now().Sub(start))
 		e.Stop()
@@ -442,6 +546,13 @@ func runCampaignArm(spec CampaignSpec, name string) StrategyResult {
 	}
 	for _, t := range killedAt {
 		r.NodeSecondsLost += endT.Sub(t).Seconds()
+	}
+	if update != nil {
+		u := armSnapshot(name, baselineNS, sim.Duration(appNS), fw, jm, w, res)
+		u.Done = true
+		u.Completed = r.Completed
+		u.JobLost = r.JobLost
+		update(u)
 	}
 	return r
 }

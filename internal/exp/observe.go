@@ -34,3 +34,59 @@ func RunMigrationObserved(k npb.Kernel, sc Scale, opts core.Options, toCompletio
 	col.Finish(s.e.Now())
 	return out, col
 }
+
+// StreamStats summarizes what a live sink saw during a streamed run.
+type StreamStats struct {
+	Events  uint64 // events delivered to (and drained from) the subscriber
+	Dropped uint64 // events lost to ring overflow
+}
+
+// RunMigrationStreamed is RunMigrationObserved with a live telemetry sink
+// attached for the whole run: a subscriber ring of the given capacity is
+// drained concurrently on a separate goroutine while the engine runs — the
+// deployment shape of cmd/obsserve, condensed for tests and benchmarks. The
+// virtual timeline (and hence the golden trace) stays bit-identical to the
+// unstreamed run: publication is host-side work on the engine goroutine and
+// never touches the event queue.
+func RunMigrationStreamed(k npb.Kernel, sc Scale, opts core.Options, toCompletion bool, ring int) (MigrationOutcome, *obs.Collector, StreamStats) {
+	s := newSession(k, sc, sc.Ranks, sc.PPN, 1, 0, opts)
+	col := obs.Enable(s.e)
+	sub := col.Subscribe(ring)
+	var stats StreamStats
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]obs.Event, 0, 256)
+		for {
+			buf = sub.Drain(buf[:0])
+			stats.Events += uint64(len(buf))
+			if len(buf) == 0 {
+				if sub.Closed() {
+					return
+				}
+				<-sub.Notify()
+			}
+		}
+	}()
+
+	var out MigrationOutcome
+	out.Workload = s.w
+	s.drive(func(p *sim.Proc) {
+		start := p.Now()
+		p.Sleep(s.triggerAt())
+		s.fw.TriggerMigration(p, s.midNode()).Wait(p)
+		if toCompletion {
+			s.fw.W.WaitDone(p)
+			out.AppDuration = p.Now().Sub(start)
+		}
+	})
+	if len(s.fw.Reports) > 0 {
+		out.Report = s.fw.Reports[len(s.fw.Reports)-1]
+	}
+	out.Events = s.e.Events()
+	col.Finish(s.e.Now())
+	col.Unsubscribe(sub)
+	<-done
+	stats.Dropped = sub.Dropped()
+	return out, col, stats
+}

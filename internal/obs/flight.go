@@ -1,0 +1,213 @@
+package obs
+
+// FlightRecorder keeps the last K telemetry events per actor — a black box
+// that survives the crash. It is attached to a Collector with AttachFlight
+// and filled by the same emit path that feeds subscribers; when something
+// goes wrong (an invariant violation in internal/check, a migration attempt
+// reaching a terminal failure in internal/core) the recorder's tail is dumped
+// alongside the failure, giving the protocol context leading UP TO the bad
+// instant rather than only the spans open AT it.
+//
+// Like the Collector it is engine-goroutine state: record and the read
+// methods must not race (read after the run, or from the engine goroutine).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ibmig/internal/sim"
+)
+
+// DefaultFlightK is the per-actor ring capacity used when NewFlightRecorder
+// is given a non-positive K.
+const DefaultFlightK = 32
+
+// flightEntry is one recorded event plus its global arrival sequence, so
+// per-actor rings can be re-merged into arrival order.
+type flightEntry struct {
+	seq uint64
+	ev  Event
+}
+
+type flightRing struct {
+	buf   []flightEntry
+	start int
+	n     int
+}
+
+func (r *flightRing) push(e flightEntry) {
+	if r.n == len(r.buf) {
+		r.start = (r.start + 1) % len(r.buf)
+		r.n--
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// FlightRecorder is the bounded per-actor event log. Create with
+// NewFlightRecorder, attach with Collector.AttachFlight.
+type FlightRecorder struct {
+	k      int
+	actors map[string]*flightRing
+	order  []string // first-seen order, for deterministic iteration
+	seq    uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last k events per actor
+// (DefaultFlightK when k <= 0).
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k <= 0 {
+		k = DefaultFlightK
+	}
+	return &FlightRecorder{k: k, actors: make(map[string]*flightRing)}
+}
+
+// flightActor buckets an event: the span's full actor path when it has one,
+// otherwise the metric name's leading dotted segment ("ib.rdma_reads" → "ib",
+// "disk.node03" → "disk"), so device and subsystem metrics group naturally.
+func flightActor(ev Event) string {
+	if ev.Actor != "" {
+		return ev.Actor
+	}
+	name := ev.Name
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		return "engine"
+	}
+	return name
+}
+
+func (fr *FlightRecorder) record(ev Event) {
+	actor := flightActor(ev)
+	r := fr.actors[actor]
+	if r == nil {
+		r = &flightRing{buf: make([]flightEntry, fr.k)}
+		fr.actors[actor] = r
+		fr.order = append(fr.order, actor)
+	}
+	fr.seq++
+	r.push(flightEntry{seq: fr.seq, ev: ev})
+}
+
+// Actors returns the recorded actor names, sorted.
+func (fr *FlightRecorder) Actors() []string {
+	if fr == nil {
+		return nil
+	}
+	out := append([]string(nil), fr.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Events returns how many events the recorder has seen (including ones since
+// evicted from their rings).
+func (fr *FlightRecorder) Events() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.seq
+}
+
+// Tail returns the last n recorded events across all actors, oldest first,
+// re-merged into arrival order. n <= 0 returns everything still buffered.
+func (fr *FlightRecorder) Tail(n int) []Event {
+	if fr == nil {
+		return nil
+	}
+	var all []flightEntry
+	for _, actor := range fr.order {
+		r := fr.actors[actor]
+		for i := 0; i < r.n; i++ {
+			all = append(all, r.buf[(r.start+i)%len(r.buf)])
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]Event, len(all))
+	for i, e := range all {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// Strings renders Tail(n) as one compact line per event — the flight context
+// attached to invariant violations and aborted migration attempts.
+func (fr *FlightRecorder) Strings(n int) []string {
+	evs := fr.Tail(n)
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = formatFlight(ev)
+	}
+	return out
+}
+
+func formatFlight(ev Event) string {
+	t := fmt.Sprintf("t=%.3fms", ev.T.Milliseconds())
+	switch ev.Kind {
+	case EvSpanOpen:
+		return fmt.Sprintf("%s open %s/%s", t, ev.Actor, ev.Name)
+	case EvSpanClose:
+		return fmt.Sprintf("%s close %s", t, ev.Name)
+	case EvSpanAttr:
+		return fmt.Sprintf("%s attr %s=%s", t, ev.Name, ev.Str)
+	case EvCounter:
+		return fmt.Sprintf("%s counter %s %+g", t, ev.Name, ev.Value)
+	case EvGauge:
+		return fmt.Sprintf("%s gauge %s=%g", t, ev.Name, ev.Value)
+	case EvUsage:
+		return fmt.Sprintf("%s usage %s %g/%d", t, ev.Name, ev.Value, ev.Capacity)
+	case EvHist:
+		return fmt.Sprintf("%s hist %s %g", t, ev.Name, ev.Value)
+	case EvHeartbeat:
+		return fmt.Sprintf("%s heartbeat %g events", t, ev.Value)
+	}
+	return fmt.Sprintf("%s %s %s", t, ev.Kind, ev.Name)
+}
+
+// FlightDump is the JSON artifact: the surviving tail of every actor's ring.
+type FlightDump struct {
+	K      int                    `json:"k"`
+	Events uint64                 `json:"events_recorded"`
+	SimNS  int64                  `json:"sim_ns"`
+	Actors map[string][]WireEvent `json:"events_by_actor"`
+}
+
+// Dump assembles the full per-actor dump, stamped with the final sim time t.
+func (fr *FlightRecorder) Dump(t sim.Time) *FlightDump {
+	d := &FlightDump{SimNS: int64(t), Actors: map[string][]WireEvent{}}
+	if fr == nil {
+		return d
+	}
+	d.K = fr.k
+	d.Events = fr.seq
+	for _, actor := range fr.order {
+		r := fr.actors[actor]
+		evs := make([]WireEvent, 0, r.n)
+		for i := 0; i < r.n; i++ {
+			evs = append(evs, r.buf[(r.start+i)%len(r.buf)].ev.Wire())
+		}
+		d.Actors[actor] = evs
+	}
+	return d
+}
+
+// WriteDump writes the dump as indented JSON.
+func (fr *FlightRecorder) WriteDump(w io.Writer, t sim.Time) error {
+	data, err := json.MarshalIndent(fr.Dump(t), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

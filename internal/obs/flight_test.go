@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ibmig/internal/sim"
+)
+
+func TestFlightRecorderPerActorBound(t *testing.T) {
+	c := New()
+	fr := NewFlightRecorder(4)
+	c.AttachFlight(fr)
+	if c.Flight() != fr {
+		t.Fatal("Flight() did not return the attached recorder")
+	}
+	// Actor "jm" gets 10 spans (ring keeps 4 opens... plus closes evict them),
+	// metric "ib.x" events bucket under "ib".
+	for i := 0; i < 10; i++ {
+		id := c.StartSpan(sim.Time(i*100), "phase", "jm", 0)
+		c.EndSpan(sim.Time(i*100+50), id)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add("ib.rdma_reads", 1)
+	}
+	if got := fr.Events(); got != 22 {
+		t.Fatalf("recorded %d events, want 22", got)
+	}
+	if got := fr.Actors(); len(got) != 2 || got[0] != "ib" || got[1] != "jm" {
+		t.Fatalf("actors %v", got)
+	}
+	// jm's ring holds its last 4 events; the merged tail interleaves by
+	// arrival: ...open#9, close#9, then the two counters.
+	tail := fr.Tail(0)
+	if len(tail) != 6 {
+		t.Fatalf("buffered %d events, want 4+2", len(tail))
+	}
+	if tail[len(tail)-1].Kind != EvCounter || tail[2].T != 900 {
+		t.Fatalf("tail misordered: %+v", tail)
+	}
+	if got := fr.Tail(3); len(got) != 3 || got[0].Kind != EvSpanClose {
+		t.Fatalf("Tail(3) = %+v", got)
+	}
+	lines := fr.Strings(2)
+	if len(lines) != 2 || !strings.Contains(lines[0], "counter ib.rdma_reads") {
+		t.Fatalf("Strings(2) = %v", lines)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	if fr.Tail(5) != nil || fr.Strings(5) != nil || fr.Actors() != nil || fr.Events() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	d := fr.Dump(100)
+	if d.SimNS != 100 || len(d.Actors) != 0 {
+		t.Fatalf("nil dump %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteDump(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightDumpJSON(t *testing.T) {
+	c := New()
+	fr := NewFlightRecorder(8)
+	c.AttachFlight(fr)
+	id := c.StartSpan(1000, "migrate", "jm", 0)
+	c.Add("ib.reads", 3)
+	c.EndSpan(2000, id)
+	var buf bytes.Buffer
+	if err := fr.WriteDump(&buf, 5000); err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 8 || d.Events != 3 || d.SimNS != 5000 {
+		t.Fatalf("dump header %+v", d)
+	}
+	jm := d.Actors["jm"]
+	if len(jm) != 2 || jm[0].Kind != "span_open" || jm[1].Kind != "span_close" {
+		t.Fatalf("jm events %+v", jm)
+	}
+	if ib := d.Actors["ib"]; len(ib) != 1 || ib[0].Kind != "counter" || ib[0].Value != 3 {
+		t.Fatalf("ib events %+v", ib)
+	}
+}

@@ -13,6 +13,11 @@ type Histogram struct {
 	Sum    float64
 	MinV   float64
 	MaxV   float64
+
+	// Back-pointer to the owning collector (set by Collector.Hist, nil for
+	// merged/standalone histograms) so Observe can stream observations.
+	col  *Collector
+	name string
 }
 
 // Standard bucket ladders, in microseconds: roughly logarithmic from 1 µs to
@@ -44,6 +49,9 @@ func (h *Histogram) Observe(v float64) {
 	h.N++
 	h.Sum += v
 	h.Counts[h.bucket(v)]++
+	if h.col != nil && h.col.emitting() {
+		h.col.emit(Event{Kind: EvHist, T: h.col.lastT, Name: h.name, Value: v, bounds: h.Bounds})
+	}
 }
 
 // ObserveDur records a virtual duration in microseconds.

@@ -1,0 +1,264 @@
+package obs
+
+// Mirror is a goroutine-safe replica of a Collector, rebuilt purely from the
+// event stream: cmd/obsserve subscribes to a running engine's collector,
+// pumps the drained events through Apply, and serves HTTP snapshots from the
+// Mirror — so request handlers never touch the engine-local Collector.
+//
+// Because it is fed by a bounded ring, the Mirror is best-effort under
+// overload: dropped events mean missed counter deltas or dangling spans. The
+// drop count is surfaced in both exports so a lossy view is never mistaken
+// for an exact one.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"ibmig/internal/sim"
+)
+
+// Mirror accumulates applied events. All methods are goroutine-safe.
+type Mirror struct {
+	mu       sync.Mutex
+	spans    []Span
+	byID     map[SpanID]int // wire span id -> index into spans
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+	usage    map[string]*usageAgg
+	lastT    sim.Time
+	events   uint64
+	dropped  uint64
+}
+
+// usageAgg is the streaming reduction of one device's usage samples — enough
+// state for busy-fraction, mean and peak utilization without keeping the
+// timeline.
+type usageAgg struct {
+	capacity     int64
+	first, last  sim.Time
+	lastUsed     int64
+	busy         sim.Duration
+	usedIntegral float64
+	peak         int64
+	started      bool
+}
+
+func (u *usageAgg) sample(t sim.Time, used, capacity int64) {
+	if capacity > u.capacity {
+		u.capacity = capacity
+	}
+	if !u.started {
+		u.started = true
+		u.first = t
+	} else if dt := t.Sub(u.last); dt > 0 {
+		if u.lastUsed > 0 {
+			u.busy += dt
+		}
+		u.usedIntegral += float64(u.lastUsed) * float64(dt)
+	}
+	u.last, u.lastUsed = t, used
+	if used > u.peak {
+		u.peak = used
+	}
+}
+
+func (u *usageAgg) busyFraction() float64 {
+	if !u.started || u.last <= u.first {
+		return 0
+	}
+	return float64(u.busy) / float64(u.last.Sub(u.first))
+}
+
+func (u *usageAgg) peakUtilization() float64 {
+	if u.capacity == 0 {
+		return 0
+	}
+	return float64(u.peak) / float64(u.capacity)
+}
+
+// NewMirror returns an empty mirror.
+func NewMirror() *Mirror {
+	return &Mirror{
+		byID:     make(map[SpanID]int),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+		usage:    make(map[string]*usageAgg),
+	}
+}
+
+// Apply folds one streamed event into the replica.
+func (m *Mirror) Apply(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events++
+	if ev.T > m.lastT {
+		m.lastT = ev.T
+	}
+	switch ev.Kind {
+	case EvSpanOpen:
+		m.byID[ev.Span] = len(m.spans)
+		m.spans = append(m.spans, Span{
+			Name: ev.Name, Actor: ev.Actor, Start: ev.T, End: ev.T, Parent: ev.Parent, open: true,
+		})
+	case EvSpanClose:
+		if i, ok := m.byID[ev.Span]; ok {
+			m.spans[i].End = ev.T
+			m.spans[i].open = false
+		}
+	case EvSpanAttr:
+		if i, ok := m.byID[ev.Span]; ok {
+			m.spans[i].Attrs = append(m.spans[i].Attrs, Attr{ev.Name, ev.Str})
+		}
+	case EvCounter:
+		m.counters[ev.Name] += int64(ev.Value)
+	case EvGauge:
+		m.gauges[ev.Name] = ev.Value
+	case EvUsage:
+		u := m.usage[ev.Name]
+		if u == nil {
+			u = &usageAgg{}
+			m.usage[ev.Name] = u
+		}
+		u.sample(ev.T, int64(ev.Value), ev.Capacity)
+	case EvHist:
+		h := m.hists[ev.Name]
+		if h == nil {
+			bounds := ev.bounds
+			if bounds == nil {
+				bounds = LatencyBucketsUS
+			}
+			h = newHistogram(bounds)
+			m.hists[ev.Name] = h
+		}
+		h.Observe(ev.Value)
+	case EvHeartbeat:
+		m.gauges["engine.events"] = ev.Value
+	}
+}
+
+// ApplyAll folds a drained batch.
+func (m *Mirror) ApplyAll(evs []Event) {
+	for _, ev := range evs {
+		m.Apply(ev)
+	}
+}
+
+// SetDropped records the stream's cumulative drop count (from
+// Subscriber.Dropped) for export.
+func (m *Mirror) SetDropped(n uint64) {
+	m.mu.Lock()
+	m.dropped = n
+	m.mu.Unlock()
+}
+
+// Events returns how many events have been applied.
+func (m *Mirror) Events() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// LastT returns the latest event timestamp seen.
+func (m *Mirror) LastT() sim.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastT
+}
+
+// promName sanitizes a dotted metric name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("ibmig_") + len(name))
+	b.WriteString("ibmig_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PrometheusText writes the replica as a Prometheus text-format snapshot:
+// counters, gauges, full histograms (cumulative buckets, sum, count), and
+// per-device busy-fraction/peak-utilization series, plus stream meta-metrics.
+func (m *Mirror) PrometheusText(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bw := &jsonWriter{w: w}
+
+	bw.str("# TYPE ibmig_sim_time_ns gauge\n")
+	bw.str(fmt.Sprintf("ibmig_sim_time_ns %d\n", int64(m.lastT)))
+	bw.str("# TYPE ibmig_stream_events_total counter\n")
+	bw.str(fmt.Sprintf("ibmig_stream_events_total %d\n", m.events))
+	bw.str("# TYPE ibmig_stream_dropped_total counter\n")
+	bw.str(fmt.Sprintf("ibmig_stream_dropped_total %d\n", m.dropped))
+	bw.str("# TYPE ibmig_spans_total counter\n")
+	bw.str(fmt.Sprintf("ibmig_spans_total %d\n", len(m.spans)))
+
+	for _, name := range sortedKeys(m.counters) {
+		pn := promName(name) + "_total"
+		bw.str(fmt.Sprintf("# TYPE %s counter\n%s %d\n", pn, pn, m.counters[name]))
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		pn := promName(name)
+		bw.str(fmt.Sprintf("# TYPE %s gauge\n%s %g\n", pn, pn, m.gauges[name]))
+	}
+	for _, name := range sortedKeys(m.hists) {
+		h := m.hists[name]
+		pn := promName(name)
+		bw.str(fmt.Sprintf("# TYPE %s histogram\n", pn))
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			bw.str(fmt.Sprintf("%s_bucket{le=\"%g\"} %d\n", pn, bound, cum))
+		}
+		bw.str(fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.N))
+		bw.str(fmt.Sprintf("%s_sum %g\n", pn, h.Sum))
+		bw.str(fmt.Sprintf("%s_count %d\n", pn, h.N))
+	}
+	if len(m.usage) > 0 {
+		devices := make([]string, 0, len(m.usage))
+		for name := range m.usage {
+			devices = append(devices, name)
+		}
+		sort.Strings(devices)
+		bw.str("# TYPE ibmig_device_busy_fraction gauge\n")
+		for _, d := range devices {
+			bw.str(fmt.Sprintf("ibmig_device_busy_fraction{device=%q} %g\n", d, m.usage[d].busyFraction()))
+		}
+		bw.str("# TYPE ibmig_device_peak_utilization gauge\n")
+		for _, d := range devices {
+			bw.str(fmt.Sprintf("ibmig_device_peak_utilization{device=%q} %g\n", d, m.usage[d].peakUtilization()))
+		}
+	}
+	return bw.err
+}
+
+// ChromeTrace writes the run so far as Chrome trace-event JSON: the mirrored
+// spans with still-open ones sealed at the latest stream time. Safe while
+// events continue to arrive — it snapshots under the lock.
+func (m *Mirror) ChromeTrace(w io.Writer) error {
+	m.mu.Lock()
+	snap := &Collector{spans: make([]Span, len(m.spans))}
+	copy(snap.spans, m.spans)
+	last := m.lastT
+	m.mu.Unlock()
+	for i := range snap.spans {
+		if snap.spans[i].open {
+			snap.spans[i].End = last
+			snap.spans[i].open = false
+		}
+		// Attrs slices are shared with the mirror; they are append-only and
+		// the exporter only reads, so no copy is needed.
+	}
+	return WriteChromeTrace(w, snap)
+}

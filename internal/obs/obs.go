@@ -18,11 +18,15 @@
 // A Collector, like a sim.Recorder, is engine-local state and is not
 // goroutine-safe: under exp.RunParallel each engine must own its own
 // Collector; merge them afterwards with Merge, which is deterministic in
-// slot order.
+// slot order. The two exceptions are Subscribe/Unsubscribe and draining the
+// returned Subscriber (see sink.go), which are safe from any goroutine —
+// that is how a live telemetry consumer rides along a running engine.
 package obs
 
 import (
+	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ibmig/internal/sim"
 )
@@ -60,6 +64,17 @@ type Collector struct {
 	gauges   map[string]float64
 	hists    map[string]*Histogram
 	tracks   map[string]*UsageTrack
+
+	// Streaming (sink.go): the fan-out bus, the sticky "any consumer"
+	// flag, the flight recorder, and the last intrinsically-timestamped
+	// event time (stamps counter/gauge/hist events, which carry none).
+	bus    atomic.Pointer[sinkBus]
+	flags  atomic.Uint32
+	flight *FlightRecorder
+	lastT  sim.Time
+
+	// ActiveAt query index (built lazily, invalidated by span appends).
+	idx *activeIndex
 }
 
 // New returns an empty Collector.
@@ -101,7 +116,12 @@ func (c *Collector) StartSpan(t sim.Time, name, actor string, parent SpanID) Spa
 	c.spans = append(c.spans, Span{
 		Name: name, Actor: actor, Start: t, End: t, Parent: parent, open: true,
 	})
-	return SpanID(len(c.spans)) // 1-based
+	c.lastT = t
+	id := SpanID(len(c.spans)) // 1-based
+	if c.emitting() {
+		c.emit(Event{Kind: EvSpanOpen, T: t, Name: name, Actor: actor, Span: id, Parent: parent})
+	}
+	return id
 }
 
 // EndSpan closes span id at time t. A zero id is ignored.
@@ -115,6 +135,10 @@ func (c *Collector) EndSpan(t sim.Time, id SpanID) {
 	}
 	s.End = t
 	s.open = false
+	c.lastT = t
+	if c.emitting() {
+		c.emit(Event{Kind: EvSpanClose, T: t, Name: s.Name, Actor: s.Actor, Span: id})
+	}
 }
 
 // SpanAttr annotates span id with key=value.
@@ -124,6 +148,9 @@ func (c *Collector) SpanAttr(id SpanID, key, value string) {
 	}
 	s := &c.spans[id-1]
 	s.Attrs = append(s.Attrs, Attr{key, value})
+	if c.emitting() {
+		c.emit(Event{Kind: EvSpanAttr, T: c.lastT, Name: key, Str: value, Span: id})
+	}
 }
 
 // Spans returns the recorded spans. Span id i+1 is Spans()[i]. Open spans
@@ -136,10 +163,97 @@ func (c *Collector) Spans() []Span {
 	return c.spans
 }
 
+// activeIndexBlock is the block size of the index's max-End summary: one
+// pruning comparison covers this many start-sorted spans.
+const activeIndexBlock = 256
+
+// activeIndex accelerates ActiveAt: span indices argsorted by Start (Merge
+// concatenates collectors, so insertion order is not start order), plus a
+// per-block maximum End so whole blocks with no interval reaching t are
+// skipped. Built lazily on first query, rebuilt when spans were appended
+// since. Ends may change after the build (EndSpan closing an open span), but
+// only downward from the +∞ an open span contributes — the block maxima stay
+// conservative, so queries remain exact (they re-check the live span data).
+type activeIndex struct {
+	builtLen int        // len(c.spans) at build time
+	order    []int32    // span indices sorted by (Start, index)
+	starts   []sim.Time // c.spans[order[i]].Start, ascending
+	blockMax []sim.Time // max effective End per activeIndexBlock of order
+}
+
+const openEnd = sim.Time(1<<63 - 1)
+
+func (c *Collector) buildActiveIndex() *activeIndex {
+	idx := &activeIndex{builtLen: len(c.spans)}
+	idx.order = make([]int32, len(c.spans))
+	for i := range idx.order {
+		idx.order[i] = int32(i)
+	}
+	sort.SliceStable(idx.order, func(a, b int) bool {
+		return c.spans[idx.order[a]].Start < c.spans[idx.order[b]].Start
+	})
+	idx.starts = make([]sim.Time, len(idx.order))
+	idx.blockMax = make([]sim.Time, (len(idx.order)+activeIndexBlock-1)/activeIndexBlock)
+	for i, si := range idx.order {
+		s := &c.spans[si]
+		idx.starts[i] = s.Start
+		end := s.End
+		if s.open {
+			end = openEnd
+		}
+		if b := i / activeIndexBlock; end > idx.blockMax[b] {
+			idx.blockMax[b] = end
+		}
+	}
+	return idx
+}
+
 // ActiveAt returns "actor/name" labels for every span whose interval covers
-// time t (still-open spans count as covering [Start, ∞)). The invariant
-// checker uses it to attach span context to a violation's timestamp.
+// time t (still-open spans count as covering [Start, ∞)), in span insertion
+// order. The invariant checker uses it to attach span context to a
+// violation's timestamp; the start-sorted block index keeps each query
+// sublinear in the run's total span count (see BenchmarkActiveAt).
 func (c *Collector) ActiveAt(t sim.Time) []string {
+	if c == nil {
+		return nil
+	}
+	if c.idx == nil || c.idx.builtLen != len(c.spans) {
+		c.idx = c.buildActiveIndex()
+	}
+	idx := c.idx
+	// Binary search: spans at positions >= hi start after t and cannot cover it.
+	hi := sort.Search(len(idx.starts), func(i int) bool { return idx.starts[i] > t })
+	var hits []int32
+	for b := 0; b*activeIndexBlock < hi; b++ {
+		if idx.blockMax[b] < t {
+			continue // every interval in this block ended before t
+		}
+		lo, end := b*activeIndexBlock, (b+1)*activeIndexBlock
+		if end > hi {
+			end = hi
+		}
+		for i := lo; i < end; i++ {
+			s := &c.spans[idx.order[i]]
+			if s.open || t <= s.End {
+				hits = append(hits, idx.order[i])
+			}
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+	out := make([]string, len(hits))
+	for i, si := range hits {
+		s := &c.spans[si]
+		out[i] = s.Actor + "/" + s.Name
+	}
+	return out
+}
+
+// activeAtScan is the pre-index linear implementation, kept as the oracle
+// for TestActiveAtMatchesScan and the benchmark baseline.
+func (c *Collector) activeAtScan(t sim.Time) []string {
 	if c == nil {
 		return nil
 	}
@@ -153,18 +267,33 @@ func (c *Collector) ActiveAt(t sim.Time) []string {
 	return out
 }
 
+// LastTime returns the time of the last intrinsically-timestamped operation
+// the collector saw — "now" to within one instrumented event. Engine-local
+// like the rest of the collector; read it only once the run is over.
+func (c *Collector) LastTime() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.lastT
+}
+
 // CloseOpen ends every still-open span at time t. Call it after the run so
 // aborted attempts still export well-formed intervals.
 func (c *Collector) CloseOpen(t sim.Time) {
 	if c == nil {
 		return
 	}
+	emitting := c.emitting()
 	for i := range c.spans {
 		if c.spans[i].open {
 			c.spans[i].End = t
 			c.spans[i].open = false
+			if emitting {
+				c.emit(Event{Kind: EvSpanClose, T: t, Name: c.spans[i].Name, Actor: c.spans[i].Actor, Span: SpanID(i + 1)})
+			}
 		}
 	}
+	c.lastT = t
 }
 
 // Add increments counter name by delta.
@@ -173,6 +302,9 @@ func (c *Collector) Add(name string, delta int64) {
 		return
 	}
 	c.counters[name] += delta
+	if c.emitting() {
+		c.emit(Event{Kind: EvCounter, T: c.lastT, Name: name, Value: float64(delta)})
+	}
 }
 
 // Counter returns the current value of a counter.
@@ -189,12 +321,17 @@ func (c *Collector) SetGauge(name string, v float64) {
 		return
 	}
 	c.gauges[name] = v
+	if c.emitting() {
+		c.emit(Event{Kind: EvGauge, T: c.lastT, Name: name, Value: v})
+	}
 }
 
 // Hist returns the named histogram, creating it with the given bucket upper
 // bounds on first use. Returns nil (itself a no-op histogram) on a nil
-// collector. Bounds are only consulted at creation; callers of the same
-// name must agree on them.
+// collector. Bounds are only consulted at creation; callers of the same name
+// must agree on them — a re-use with different non-nil bounds is ignored in
+// production but panics under SetStrict (protocheck -poison), since silently
+// bucketing into the wrong ladder corrupts every quantile downstream.
 func (c *Collector) Hist(name string, bounds []float64) *Histogram {
 	if c == nil {
 		return nil
@@ -202,9 +339,25 @@ func (c *Collector) Hist(name string, bounds []float64) *Histogram {
 	h := c.hists[name]
 	if h == nil {
 		h = newHistogram(bounds)
+		h.col, h.name = c, name
 		c.hists[name] = h
+	} else if bounds != nil && strictMode.Load() && !equalBounds(h.Bounds, bounds) {
+		panic(fmt.Sprintf("obs: Hist(%q) bucket-bound mismatch: created with %v, re-requested with %v",
+			name, h.Bounds, bounds))
 	}
 	return h
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Usage records a utilization sample for the named device: used out of
@@ -220,6 +373,10 @@ func (c *Collector) Usage(t sim.Time, name string, used, capacity int64) {
 		c.tracks[name] = tr
 	}
 	tr.sample(t, used)
+	c.lastT = t
+	if c.emitting() {
+		c.emit(Event{Kind: EvUsage, T: t, Name: name, Value: float64(used), Capacity: capacity})
+	}
 }
 
 // ResourceUsage implements sim.ResourceObserver.

@@ -148,6 +148,9 @@ type Engine struct {
 
 	obsData any              // opaque per-engine observability state (internal/obs)
 	resObs  ResourceObserver // resource usage hook; nil when observability is off
+
+	flushEvery uint64     // dispatch period of the flush hook; 0 = off
+	flushFn    func(Time) // periodic host-side run-loop hook (see SetFlushHook)
 }
 
 // ResourceObserver receives a callback on every Resource usage transition
@@ -207,6 +210,21 @@ func (e *Engine) ObsData() any { return e.obsData }
 // SetResourceObserver installs the resource usage hook. Pass nil to disable
 // (the default); the disabled path is a single nil check per transition.
 func (e *Engine) SetResourceObserver(o ResourceObserver) { e.resObs = o }
+
+// SetFlushHook installs fn to run in engine context every `every` dispatched
+// events, like the payload reclamation epoch the run loop already closes
+// periodically. The hook is strictly host-side: it must not schedule events,
+// wake processes or otherwise touch the simulation — it exists so live
+// telemetry (heartbeats, arena gauges, stream flushes) has a periodic anchor
+// inside long event storms. Pass fn nil to disable (the default); the
+// disabled path is one nil check per dispatched event, and installing a hook
+// cannot change simulated results (TestFlushHookPassive pins this).
+func (e *Engine) SetFlushHook(every uint64, fn func(Time)) {
+	if every == 0 {
+		every = 1 << 12
+	}
+	e.flushEvery, e.flushFn = every, fn
+}
 
 // allocEvent takes an event from the freelist, or allocates one.
 func (e *Engine) allocEvent() *event {
@@ -537,6 +555,9 @@ func (e *Engine) run(deadline Time) error {
 			// retired by splice churn become reusable during long runs, not
 			// only when their owning lifecycle ends (see payload.AdvanceEpoch).
 			payload.AdvanceEpoch()
+		}
+		if e.flushFn != nil && e.dispatched%e.flushEvery == 0 {
+			e.flushFn(e.now)
 		}
 		if fn := ev.fn; fn != nil {
 			e.freeEvent(ev)

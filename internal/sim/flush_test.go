@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// flushWorkload dispatches a known, deterministic stream of events: ten procs
+// each sleeping 400 times produces well over two flush periods at every=1024.
+func flushWorkload(e *Engine) {
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for k := 0; k < 400; k++ {
+				p.Sleep(Duration(i+1) * time.Microsecond)
+			}
+		})
+	}
+}
+
+// TestFlushHookPassive pins the SetFlushHook contract: the hook fires on the
+// documented period with nondecreasing engine times, and installing (or
+// removing) it cannot change the simulated trace.
+func TestFlushHookPassive(t *testing.T) {
+	run := func(every uint64, hook bool) (rec *Recorder, events uint64, fires int, times []Time) {
+		e := NewEngine(3)
+		rec = &Recorder{}
+		e.SetTracer(rec)
+		if hook {
+			e.SetFlushHook(every, func(now Time) {
+				fires++
+				times = append(times, now)
+			})
+		}
+		flushWorkload(e)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec, e.Events(), fires, times
+	}
+
+	bare, events, _, _ := run(0, false)
+	hooked, _, fires, times := run(256, true)
+	if len(bare.Records) == 0 {
+		t.Fatal("workload produced no trace")
+	}
+	if !reflect.DeepEqual(bare.Records, hooked.Records) {
+		t.Fatalf("flush hook perturbed the trace: %d vs %d records", len(bare.Records), len(hooked.Records))
+	}
+	if want := int(events / 256); fires < want-1 || fires > want+1 {
+		t.Fatalf("hook fired %d times over %d dispatched events at every=256", fires, events)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("hook times went backwards: %v then %v", times[i-1], times[i])
+		}
+	}
+
+	// every=0 means the documented default period, not firing every event.
+	_, _, defFires, _ := run(0, true)
+	if defFires >= fires {
+		t.Fatalf("default period fired %d times, every=256 fired %d", defFires, fires)
+	}
+
+	// nil fn disables the hook entirely.
+	e := NewEngine(3)
+	e.SetFlushHook(256, nil)
+	flushWorkload(e)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
