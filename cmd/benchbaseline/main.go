@@ -14,6 +14,9 @@
 //   - robustness: head-to-head strategy campaigns (per-strategy goodput and
 //     MTTR under identical fault schedules), so recovery-quality regressions
 //     are tracked next to performance ones
+//   - fleet: the fleet control-plane economics campaign (1,000 nodes, 200
+//     jobs, 30 simulated days per policy arm) — goodput, node-hours lost,
+//     MTTI/MTTR and queue waits per scheduling × spare-pool policy
 //   - partitioned scaling: the conservative time-windowed partitioned engine
 //     at the top sweep point — serial full-mesh baseline vs sharded worlds at
 //     increasing worker counts, with wall-clock speedups
@@ -39,6 +42,7 @@ import (
 
 	"ibmig/internal/core"
 	"ibmig/internal/exp"
+	"ibmig/internal/fleet"
 	"ibmig/internal/mem"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
@@ -167,6 +171,20 @@ type Baseline struct {
 		OnePredicted []StrategyArm `json:"one_predicted_failure"`
 		Burst3       []StrategyArm `json:"three_failure_burst"`
 	} `json:"robustness"`
+
+	// Fleet records the fleet control-plane economics campaign: every policy
+	// arm (FIFO/backfill × fixed/autoscaled spare pool) schedules the same
+	// workload against the same failure realization, so the per-arm goodput,
+	// node-hours-lost, MTTI/MTTR and queue-wait numbers are pure policy
+	// signal. All simulated numbers are deterministic; only wall_s is
+	// host-dependent.
+	Fleet struct {
+		Nodes       int                  `json:"nodes"`
+		Jobs        int                  `json:"jobs"`
+		HorizonDays float64              `json:"horizon_days"`
+		WallS       float64              `json:"wall_s"`
+		Arms        []exp.FleetArmResult `json:"arms"`
+	} `json:"fleet"`
 
 	// Telemetry records the streaming-telemetry overhead: the same observed
 	// paper-scale migration run with the live sink off and on (a subscriber
@@ -359,6 +377,41 @@ func measureRobustness(b *Baseline, sc exp.Scale) {
 	b.Robustness.Burst3 = armsOf(burst)
 }
 
+// measureFleet fills the fleet section: the acceptance-criteria campaign
+// (1,000 nodes, 200 jobs, 30 simulated days) at paper scale, a one-week
+// 128-node fleet at quick scale.
+func measureFleet(b *Baseline, sc exp.Scale, quick bool) {
+	// MeanWork is sized so total demand slightly exceeds fleet capacity over
+	// the horizon: a queue forms and the scheduling arms actually diverge
+	// (an underloaded fleet makes backfill indistinguishable from FIFO).
+	base := fleet.Config{
+		Nodes:    1000,
+		RackSize: 10,
+		NodeMTBF: 4 * 24 * time.Hour,
+		Horizon:  30 * 24 * time.Hour,
+		Jobs:     200,
+		MaxWidth: 64,
+		MeanWork: 120 * time.Hour,
+		Seed:     sc.Seed,
+	}
+	if quick {
+		base.Nodes, base.RackSize = 128, 8
+		base.Horizon = 7 * 24 * time.Hour
+		base.Jobs, base.MaxWidth, base.MeanWork = 64, 24, 18*time.Hour
+	}
+	fmt.Fprintf(os.Stderr, "fleet campaign (%d nodes, %d jobs)...\n", base.Nodes, base.Jobs)
+	old := exp.Parallelism()
+	exp.SetParallelism(0)
+	defer exp.SetParallelism(old)
+	start := time.Now()
+	res := exp.RunFleetCampaign(exp.FleetCampaignSpec{Base: base})
+	b.Fleet.Nodes = base.Nodes
+	b.Fleet.Jobs = base.Jobs
+	b.Fleet.HorizonDays = base.Horizon.Hours() / 24
+	b.Fleet.WallS = time.Since(start).Seconds()
+	b.Fleet.Arms = res.Arms
+}
+
 // measurePartitioned fills the partitioned_scaling section: the top sweep
 // point on the conservative partitioned engine, serial baseline first. The
 // iteration count is trimmed so setup and steady state both show in wall
@@ -469,7 +522,7 @@ func measureTelemetry(b *Baseline, sc exp.Scale) {
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
-	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned, memory, sweep, telemetry)")
+	only := flag.String("only", "", "re-measure just one section into an existing file (supported: obs, robustness, partitioned, memory, sweep, telemetry, fleet)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -524,9 +577,9 @@ func main() {
 	// one section into the existing file and leaves the rest untouched.
 	if *only != "" {
 		switch *only {
-		case "obs", "robustness", "partitioned", "memory", "sweep", "telemetry":
+		case "obs", "robustness", "partitioned", "memory", "sweep", "telemetry", "fleet":
 		default:
-			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned, memory, sweep, telemetry)\n", *only)
+			fmt.Fprintf(os.Stderr, "unsupported -only section %q (supported: obs, robustness, partitioned, memory, sweep, telemetry, fleet)\n", *only)
 			os.Exit(2)
 		}
 		data, err := os.ReadFile(*out)
@@ -550,6 +603,11 @@ func main() {
 			writeBaseline(*out, &b)
 			fmt.Printf("updated robustness section of %s (%d arms per campaign, %.1fs wall)\n",
 				*out, len(b.Robustness.OnePredicted), b.Robustness.WallS)
+		case "fleet":
+			measureFleet(&b, sc, *quick)
+			writeBaseline(*out, &b)
+			fmt.Printf("updated fleet section of %s (%d nodes, %d jobs, %d arms, %.1fs wall)\n",
+				*out, b.Fleet.Nodes, b.Fleet.Jobs, len(b.Fleet.Arms), b.Fleet.WallS)
 		case "partitioned":
 			measurePartitioned(&b, sc, sweepRanks)
 			writeBaseline(*out, &b)
@@ -741,6 +799,9 @@ func main() {
 
 	// --- robustness -------------------------------------------------------
 	measureRobustness(&b, sc)
+
+	// --- fleet economics ---------------------------------------------------
+	measureFleet(&b, sc, *quick)
 
 	// --- observability ----------------------------------------------------
 	measureObs(&b, sc)

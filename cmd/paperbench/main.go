@@ -17,6 +17,9 @@
 //	         CR, replication, adaptive) under identical failure schedules,
 //	         swept over failure density — the Cappello-style migration-vs-CR
 //	         crossover, plus a correlated rack-failure point
+//	fleet    fleet control-plane economics: 1,000 nodes, 200 jobs, 30 simulated
+//	         days per policy arm (FIFO/backfill × fixed/autoscaled spare pool),
+//	         with goodput, node-hours-lost, MTTI/MTTR and queue-wait rollups
 //	partitioned  opt-in (not part of -exp all): conservative time-windowed
 //	         partitioned execution of the top sweep point, serial baseline vs
 //	         -partitions shards at each -workers count, with speedups
@@ -48,13 +51,14 @@ import (
 
 	"ibmig/internal/core"
 	"ibmig/internal/exp"
+	"ibmig/internal/fleet"
 	"ibmig/internal/metrics"
 	"ibmig/internal/npb"
 	"ibmig/internal/obs"
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, sweep, timeline, crossover, partitioned")
+	which := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, table1, pool, restart, socket, aggregate, interference, interval, fleet, sweep, timeline, crossover, partitioned")
 	scaleName := flag.String("scale", "paper", "experiment scale: paper (class C, 64 ranks) or quick (class W, 16 ranks)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "concurrent simulation engines per figure (0 = GOMAXPROCS)")
@@ -205,6 +209,29 @@ func main() {
 		corr.Failures = 1
 		corr.Correlated = true
 		fmt.Println(exp.FormatCrossover([]*exp.CampaignResult{exp.RunCampaign(corr)}))
+	})
+	run("fleet", func() {
+		// Sized so total demand slightly exceeds capacity over the horizon: a
+		// queue forms and the scheduling arms diverge (an underloaded fleet
+		// makes backfill indistinguishable from FIFO).
+		base := fleet.Config{
+			Nodes:    1000,
+			RackSize: 10,
+			NodeMTBF: 4 * 24 * time.Hour,
+			Horizon:  30 * 24 * time.Hour,
+			Jobs:     200,
+			MaxWidth: 64,
+			MeanWork: 120 * time.Hour,
+			Seed:     sc.Seed,
+		}
+		if *scaleName == "quick" {
+			base.Nodes, base.RackSize = 128, 8
+			base.Horizon = 7 * 24 * time.Hour
+			base.Jobs, base.MaxWidth, base.MeanWork = 64, 24, 18*time.Hour
+		}
+		fmt.Printf("Fleet economics — %d nodes, %d jobs, %.0f-day horizon, per-policy rollups\n",
+			base.Nodes, base.Jobs, base.Horizon.Hours()/24)
+		fmt.Println(exp.FormatFleet(exp.RunFleetCampaign(exp.FleetCampaignSpec{Base: base})))
 	})
 	run("sweep", func() {
 		ranks := exp.DefaultSweepRanks

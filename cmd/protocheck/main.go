@@ -9,6 +9,8 @@
 //	protocheck -n 500 -seed 1 -parallel 0          # the nightly CI sweep
 //	protocheck -spec "seed=42 f=node-crash:tgt@2"  # replay one scenario
 //	protocheck -n 100 -shrink=false                # sweep without shrinking
+//	protocheck -fleet 200                          # fleet control-plane invariant sweep
+//	protocheck -spec "flt seed=7 n=96 auto"        # replay one fleet scenario
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 		invs     = flag.Bool("invariants", false, "list registered invariants and exit")
 		parts    = flag.Int("partitions", 0, "run the partitioned-engine invariant sweep with this many partitions per scenario (0 with -workers unset = off; -1 = random 2-5)")
 		workers  = flag.Int("workers", 0, "worker goroutines per partitioned scenario (implies the partitioned sweep; determinism is cross-checked against workers=1)")
+		fleetN   = flag.Int("fleet", 0, "run the fleet control-plane invariant sweep with this many scenarios (0 = off)")
 		poison   = flag.Bool("poison", false, "poison retired extent-arena nodes and validate on reuse (use-after-free detector; host-side only, results unchanged)")
 		flight   = flag.Bool("flight-dump", false, "include the flight recorder's telemetry tail in every result, not just failures")
 	)
@@ -71,8 +74,17 @@ func main() {
 		return
 	}
 
+	if *fleetN > 0 {
+		runFleetSweep(*fleetN, *seed, *jsonOut, *shrink, *verbose)
+		return
+	}
+
 	if *spec != "" {
-		runOne(*spec, *jsonOut, *shrink)
+		if check.IsFleetSpec(*spec) {
+			runOneFleet(*spec, *jsonOut, *shrink)
+		} else {
+			runOne(*spec, *jsonOut, *shrink)
+		}
 		return
 	}
 
@@ -126,6 +138,64 @@ func runPartitioned(n int, seed int64, parts, workers int, jsonOut string, verbo
 	if len(sum.Failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runFleetSweep is the fleet control-plane invariant sweep: seeded random
+// fleet scenarios through internal/fleet, checked against the fleet
+// invariants, failures shrunk to minimal "flt" specs.
+func runFleetSweep(n int, seed int64, jsonOut string, shrink, verbose bool) {
+	var progress func(int)
+	if verbose {
+		progress = func(done int) {
+			if done%50 == 0 || done == n {
+				fmt.Fprintf(os.Stderr, "protocheck[fleet]: %d/%d\n", done, n)
+			}
+		}
+	}
+	sum := check.FleetSweep(n, seed, progress)
+	sum.Write(os.Stdout)
+	for _, r := range sum.Failures {
+		fmt.Printf("\nFAIL %s\n", r.Spec)
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if shrink {
+			min := check.ShrinkFleet(r.Scenario, check.FailsFleet)
+			fmt.Printf("  repro: protocheck -spec %q\n", min)
+		}
+	}
+	writeJSON(jsonOut, sum)
+	if len(sum.Failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOneFleet(spec, jsonOut string, shrink bool) {
+	fs, err := check.ParseFleet(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protocheck:", err)
+		os.Exit(2)
+	}
+	res := check.RunFleetScenario(fs)
+	fmt.Printf("fleet scenario: %s\n", res.Spec)
+	if res.R != nil {
+		fmt.Printf("  jobs=%d completed=%d rejected=%d interrupts=%d drains=%d goodput=%.1f%%\n",
+			res.R.JobsTotal, res.R.JobsCompleted, res.R.JobsRejected,
+			res.R.Interrupts, res.R.Drains, res.R.GoodputPct)
+	}
+	writeJSON(jsonOut, res)
+	if !res.Failed() {
+		fmt.Println("  all fleet invariants hold")
+		return
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	if shrink {
+		min := check.ShrinkFleet(fs, check.FailsFleet)
+		fmt.Printf("  repro: protocheck -spec %q\n", min)
+	}
+	os.Exit(1)
 }
 
 func runOne(spec, jsonOut string, shrink bool) {

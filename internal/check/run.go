@@ -172,7 +172,11 @@ func RunScenario(sc Scenario) (res *Result) {
 		default:
 			spec.Node = victim(f.Role, pr.c, src)
 		}
-		pr.inj.AtPhase(0, f.Phase, spec)
+		if f.AtMS > 0 {
+			pr.inj.At(sim.Time(time.Duration(f.AtMS)*time.Millisecond), spec)
+		} else {
+			pr.inj.AtPhase(0, f.Phase, spec)
+		}
 	}
 
 	e.Spawn("check.ctl", func(p *sim.Proc) {

@@ -62,25 +62,41 @@ func parseRole(s string) (Role, error) {
 	return 0, fmt.Errorf("check: unknown role %q", s)
 }
 
-// FaultSpec is one injected fault, anchored at the entry of a migration
-// phase (any attempt). Node faults (crash/HCA/disk) name a Role; FTB faults
-// (drop/delay) name one of the four migration-protocol events.
+// FaultSpec is one injected fault, anchored either at the entry of a
+// migration phase (any attempt) or at an absolute sim time. Node faults
+// (crash/HCA/disk) name a Role; FTB faults (drop/delay) name one of the four
+// migration-protocol events.
+//
+// A phase anchor (`@2`) only ever fires inside a migration, so it can never
+// probe the windows before the trigger or after completion; an absolute
+// anchor (`@t250`, sim milliseconds from t=0) lands wherever the clock says,
+// including squarely outside any attempt.
 type FaultSpec struct {
 	Kind    fault.Kind `json:"kind"`
 	Role    Role       `json:"role,omitempty"`     // crash / hca / disk victims
 	Event   string     `json:"event,omitempty"`    // ftb-drop / ftb-delay target
 	DelayMS int        `json:"delay_ms,omitempty"` // ftb-delay hold time
-	Phase   int        `json:"phase"`              // 1..4 anchor
+	Phase   int        `json:"phase,omitempty"`    // 1..4 anchor (0 with AtMS set)
+	AtMS    int        `json:"at_ms,omitempty"`    // absolute sim-time anchor, ms
+}
+
+// anchor renders the fault's timing: "@N" for phase anchors, "@tN" for
+// absolute sim-time anchors.
+func (f FaultSpec) anchor() string {
+	if f.AtMS > 0 {
+		return fmt.Sprintf("@t%d", f.AtMS)
+	}
+	return fmt.Sprintf("@%d", f.Phase)
 }
 
 func (f FaultSpec) String() string {
 	switch f.Kind {
 	case fault.FTBDrop:
-		return fmt.Sprintf("%v:%s@%d", f.Kind, f.Event, f.Phase)
+		return fmt.Sprintf("%v:%s%s", f.Kind, f.Event, f.anchor())
 	case fault.FTBDelay:
-		return fmt.Sprintf("%v:%s:%d@%d", f.Kind, f.Event, f.DelayMS, f.Phase)
+		return fmt.Sprintf("%v:%s:%d%s", f.Kind, f.Event, f.DelayMS, f.anchor())
 	}
-	return fmt.Sprintf("%v:%v@%d", f.Kind, f.Role, f.Phase)
+	return fmt.Sprintf("%v:%v%s", f.Kind, f.Role, f.anchor())
 }
 
 // migration-protocol events a scenario may drop or delay. MIGRATE_REQUEST is
@@ -105,15 +121,18 @@ var faultKinds = map[string]fault.Kind{
 
 func parseFault(s string) (FaultSpec, error) {
 	var f FaultSpec
-	body, phase, ok := strings.Cut(s, "@")
+	body, anchor, ok := strings.Cut(s, "@")
 	if !ok {
-		return f, fmt.Errorf("check: fault %q: missing @phase", s)
+		return f, fmt.Errorf("check: fault %q: missing @phase or @tMS anchor", s)
 	}
-	ph, err := strconv.Atoi(phase)
-	if err != nil {
+	var err error
+	if ms, abs := strings.CutPrefix(anchor, "t"); abs {
+		if f.AtMS, err = strconv.Atoi(ms); err != nil {
+			return f, fmt.Errorf("check: fault %q: bad absolute anchor: %v", s, err)
+		}
+	} else if f.Phase, err = strconv.Atoi(anchor); err != nil {
 		return f, fmt.Errorf("check: fault %q: bad phase: %v", s, err)
 	}
-	f.Phase = ph
 	parts := strings.Split(body, ":")
 	kind, known := faultKinds[parts[0]]
 	if !known {
@@ -305,7 +324,15 @@ func (sc Scenario) Valid() error {
 		return fmt.Errorf("check: %v", err)
 	}
 	for _, f := range sc.Faults {
-		if f.Phase < 1 || f.Phase > 4 {
+		switch {
+		case f.AtMS > 0:
+			if f.Phase != 0 {
+				return fmt.Errorf("check: fault %v: phase and absolute anchors are exclusive", f)
+			}
+			if f.AtMS > 5000 {
+				return fmt.Errorf("check: fault %v: absolute anchor beyond the 5 s DST envelope", f)
+			}
+		case f.Phase < 1 || f.Phase > 4:
 			return fmt.Errorf("check: fault %v: phase out of range", f)
 		}
 		switch f.Kind {
@@ -396,6 +423,12 @@ func Generate(seed int64) Scenario {
 
 func randomFault(rng *rand.Rand, sc Scenario) FaultSpec {
 	f := FaultSpec{Phase: 1 + rng.Intn(4)}
+	// A quarter of faults anchor at an absolute sim time instead of a
+	// migration phase, probing the windows a phase anchor can never hit
+	// (before the trigger, between attempts, after completion).
+	if rng.Intn(4) == 0 {
+		f.Phase, f.AtMS = 0, 1+rng.Intn(400)
+	}
 	kinds := []fault.Kind{
 		fault.NodeCrash, fault.HCAFail, fault.DiskFail,
 		fault.FTBDrop, fault.FTBDelay, fault.RackFail, fault.LinkFlap,
@@ -423,11 +456,20 @@ func randomFault(rng *rand.Rand, sc Scenario) FaultSpec {
 	return f
 }
 
-// sortFaults orders faults deterministically (by phase, then rendering) so a
-// scenario's spec string is canonical regardless of generation order.
+// sortFaults orders faults deterministically (absolute anchors first by
+// time, then phase anchors by phase, then rendering) so a scenario's spec
+// string is canonical regardless of generation order.
 func sortFaults(fs []FaultSpec) {
 	sort.SliceStable(fs, func(i, j int) bool {
-		if fs[i].Phase != fs[j].Phase {
+		ai, aj := fs[i].AtMS > 0, fs[j].AtMS > 0
+		if ai != aj {
+			return ai
+		}
+		if ai {
+			if fs[i].AtMS != fs[j].AtMS {
+				return fs[i].AtMS < fs[j].AtMS
+			}
+		} else if fs[i].Phase != fs[j].Phase {
 			return fs[i].Phase < fs[j].Phase
 		}
 		return fs[i].String() < fs[j].String()

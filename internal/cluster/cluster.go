@@ -74,9 +74,7 @@ type Cluster struct {
 	dead    map[string]bool
 	monitor *ftb.Client
 
-	rackSize int
-	rackOf   map[string]int
-	racks    [][]string
+	topo *Topology
 }
 
 // New builds a cluster on the engine.
@@ -140,42 +138,33 @@ func New(e *sim.Engine, cfg Config) *Cluster {
 	}
 	c.FTB = ftb.Deploy(e, c.Eth, ftbNodes, cfg.FTBFanout)
 	c.monitor = c.FTB.Connect("login", "cluster-monitor")
-	c.rackSize = cfg.RackSize
-	c.rackOf = make(map[string]int)
-	if cfg.RackSize > 0 {
-		racked := append(append([]*Node(nil), c.Compute...), c.Spares...)
-		for i, n := range racked {
-			r := i / cfg.RackSize
-			c.rackOf[n.Name] = r
-			for len(c.racks) <= r {
-				c.racks = append(c.racks, nil)
-			}
-			c.racks[r] = append(c.racks[r], n.Name)
-		}
+	racked := append(append([]*Node(nil), c.Compute...), c.Spares...)
+	names := make([]string, len(racked))
+	for i, n := range racked {
+		names[i] = n.Name
 	}
+	c.topo = NewTopology(names, cfg.RackSize)
 	return c
 }
 
+// Topology returns the cluster's rack layout (compute then spare nodes, in
+// order; empty when rack topology is disabled).
+func (c *Cluster) Topology() *Topology { return c.topo }
+
 // RackOf returns the rack index of a node, or -1 when the node is not part
 // of the rack sequence (login, I/O servers, or rack topology disabled).
-func (c *Cluster) RackOf(name string) int {
-	if r, ok := c.rackOf[name]; ok {
-		return r
-	}
-	return -1
-}
+func (c *Cluster) RackOf(name string) int { return c.topo.RackOf(name) }
 
 // RackMembers returns the node names sharing a rack with name (including
 // name itself). Without rack topology the node is its own failure domain.
 func (c *Cluster) RackMembers(name string) []string {
-	r, ok := c.rackOf[name]
-	if !ok {
-		if c.nodes[name] == nil {
-			return nil
-		}
-		return []string{name}
+	if m := c.topo.RackMembers(name); m != nil {
+		return m
 	}
-	return append([]string(nil), c.racks[r]...)
+	if c.nodes[name] == nil {
+		return nil
+	}
+	return []string{name}
 }
 
 // Node returns the named node, or nil.
@@ -243,6 +232,26 @@ func (c *Cluster) Placement(ranks, ranksPerNode int) []string {
 	out := make([]string, ranks)
 	for i := range out {
 		out[i] = c.Compute[i/ranksPerNode].Name
+	}
+	return out
+}
+
+// PlacementOn assigns ranks to an explicit subset of compute nodes in
+// contiguous blocks of ranksPerNode — the multi-job form of Placement: each
+// job leases its own disjoint node set, so several frameworks can coexist on
+// one cluster. Unknown node names and undersized leases panic.
+func (c *Cluster) PlacementOn(nodes []string, ranks, ranksPerNode int) []string {
+	if ranksPerNode <= 0 || ranks > len(nodes)*ranksPerNode {
+		panic("cluster: placement does not fit the leased nodes")
+	}
+	for _, name := range nodes {
+		if c.nodes[name] == nil {
+			panic("cluster: placement on unknown node " + name)
+		}
+	}
+	out := make([]string, ranks)
+	for i := range out {
+		out[i] = nodes[i/ranksPerNode]
 	}
 	return out
 }

@@ -42,7 +42,7 @@ func (c *Cluster) Partition(parts int) PartitionPlan {
 		panic("cluster: partition count must divide the compute node count")
 	}
 	per := n / parts
-	if c.rackSize > 0 && per%c.rackSize != 0 {
+	if rs := c.topo.RackSize(); rs > 0 && per%rs != 0 {
 		panic("cluster: partition size must be a whole number of racks")
 	}
 	pl := PartitionPlan{Parts: parts, Lookahead: calib.IBLatency}

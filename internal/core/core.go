@@ -108,6 +108,12 @@ type Options struct {
 	// CkptInterval overrides the strategy's periodic checkpoint cadence
 	// under AutoPolicy (0 uses Strategy.CheckpointInterval()).
 	CkptInterval sim.Duration
+
+	// Nodes leases an explicit subset of compute nodes to this job (the
+	// multi-job form: several frameworks share one cluster, each on its own
+	// disjoint lease — how a fleet control plane places concurrent jobs).
+	// Empty means the whole compute plane, the single-job default.
+	Nodes []string
 }
 
 func (o Options) withDefaults() Options {
@@ -398,7 +404,11 @@ type FailurePayload struct {
 // binds them to the MPI world, starts the application, and deploys the Job
 // Manager and the NLAs.
 func Launch(c *cluster.Cluster, w npb.Workload, ranksPerNode int, res *npb.Result, opts Options) *Framework {
-	return LaunchApp(c, w.Name(), c.Placement(w.Ranks, ranksPerNode), w.SegmentSpecs, w.App(res), opts)
+	placement := c.Placement(w.Ranks, ranksPerNode)
+	if len(opts.Nodes) > 0 {
+		placement = c.PlacementOn(opts.Nodes, w.Ranks, ranksPerNode)
+	}
+	return LaunchApp(c, w.Name(), placement, w.SegmentSpecs, w.App(res), opts)
 }
 
 // LaunchApp is the generic entry point: any app over any placement, with a

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"ibmig/internal/cluster"
+	"ibmig/internal/npb"
+	"ibmig/internal/sim"
+)
+
+// TestTwoJobsOnDisjointLeases runs two frameworks concurrently on one
+// cluster, each leased half the compute plane via Options.Nodes — the
+// placement form a fleet control plane uses for concurrent jobs.
+func TestTwoJobsOnDisjointLeases(t *testing.T) {
+	e := sim.NewEngine(23)
+	c := cluster.New(e, cluster.Config{ComputeNodes: 8, SpareNodes: 1, PVFSServers: 0})
+	var names []string
+	for _, n := range c.Compute {
+		names = append(names, n.Name)
+	}
+
+	wA := npb.New(npb.LU, npb.ClassS, 8)
+	wB := npb.New(npb.LU, npb.ClassS, 8)
+	resA, resB := npb.NewResult(8), npb.NewResult(8)
+	fwA := Launch(c, wA, 2, resA, Options{Nodes: names[:4]})
+	fwB := Launch(c, wB, 2, resB, Options{Nodes: names[4:]})
+
+	// Each job's ranks sit entirely inside its lease, and none collide.
+	lease := map[string]string{}
+	for _, n := range names[:4] {
+		lease[n] = "A"
+	}
+	for _, n := range names[4:] {
+		lease[n] = "B"
+	}
+	for _, r := range fwA.W.Ranks() {
+		if lease[r.Node()] != "A" {
+			t.Fatalf("job A rank %d placed on %s, outside its lease", r.ID(), r.Node())
+		}
+	}
+	for _, r := range fwB.W.Ranks() {
+		if lease[r.Node()] != "B" {
+			t.Fatalf("job B rank %d placed on %s, outside its lease", r.ID(), r.Node())
+		}
+	}
+
+	e.Spawn("test.ctl", func(p *sim.Proc) {
+		fwA.W.WaitDone(p)
+		fwB.W.WaitDone(p)
+		e.Stop()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Shutdown()
+
+	for i, n := range resA.IterDone {
+		if n != wA.Iterations {
+			t.Errorf("job A rank %d finished %d/%d iterations", i, n, wA.Iterations)
+		}
+	}
+	for i, n := range resB.IterDone {
+		if n != wB.Iterations {
+			t.Errorf("job B rank %d finished %d/%d iterations", i, n, wB.Iterations)
+		}
+	}
+}
+
+// TestLeasePlacementPanics pins the failure modes: an undersized lease and an
+// unknown node both refuse the launch loudly.
+func TestLeasePlacementPanics(t *testing.T) {
+	e := sim.NewEngine(23)
+	c := cluster.New(e, cluster.Config{ComputeNodes: 4, SpareNodes: 1, PVFSServers: 0})
+	defer e.Shutdown()
+	w := npb.New(npb.LU, npb.ClassS, 8)
+
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("undersized lease", func() {
+		Launch(c, w, 2, npb.NewResult(8), Options{Nodes: []string{c.Compute[0].Name}})
+	})
+	expectPanic("unknown node", func() {
+		Launch(c, w, 2, npb.NewResult(8), Options{Nodes: []string{"n9999", "n9998", "n9997", "n9996"}})
+	})
+}

@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"ibmig/internal/sim"
+)
+
+const hourNS = 3600e9
+
+// Result is the per-run economics rollup — the numbers a policy comparison
+// ranks on, in the units of the Cappello-style analytical model.
+type Result struct {
+	Policy    Policy  `json:"policy"`
+	Nodes     int     `json:"nodes"`
+	Horizon   float64 `json:"horizon_h"`
+	AutoScale bool    `json:"autoscale"`
+	SpareFrac float64 `json:"spare_frac"` // configured (initial) fraction
+
+	JobsTotal     int `json:"jobs_total"`
+	JobsCompleted int `json:"jobs_completed"`
+	JobsRejected  int `json:"jobs_rejected"`
+	JobsCut       int `json:"jobs_cut"` // still in flight (or queued) at the horizon
+
+	// GoodputPct is useful node-time over total fleet capacity, percent.
+	GoodputPct float64 `json:"goodput_pct"`
+	// NodeHoursLost is capacity minus useful work, decomposed below.
+	NodeHoursLost float64 `json:"node_hours_lost"`
+	CkptNH        float64 `json:"ckpt_nh"`
+	ReworkNH      float64 `json:"rework_nh"`
+	MigrNH        float64 `json:"migr_nh"`
+	RestartNH     float64 `json:"restart_nh"`
+	StallNH       float64 `json:"stall_nh"`
+	IdleNH        float64 `json:"idle_nh"`  // free active nodes
+	SpareNH       float64 `json:"spare_nh"` // pool headroom
+	DownNH        float64 `json:"down_nh"`  // failed/repairing + cordoned/draining
+
+	Interrupts int     `json:"interrupts"`
+	Drains     int     `json:"drains"`
+	MTTIHours  float64 `json:"mtti_h"` // busy node-hours per interrupt
+	MTTRHours  float64 `json:"mttr_h"` // mean interrupt-to-resume
+	WaitMeanH  float64 `json:"wait_mean_h"`
+	WaitP95H   float64 `json:"wait_p95_h"`
+
+	// Fingerprint digests placements, transitions, and per-job accounting;
+	// golden tests pin it against silent reordering.
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *System) result(horizon sim.Time) *Result {
+	r := &Result{
+		Policy:    s.Cfg.Policy,
+		Nodes:     s.Cfg.Nodes,
+		Horizon:   s.Cfg.Horizon.Hours(),
+		AutoScale: s.Cfg.AutoScale,
+		SpareFrac: s.Cfg.SpareFrac,
+		JobsTotal: len(s.Jobs),
+		Drains:    len(s.Drains),
+	}
+	capacity := float64(s.Cfg.Nodes) * float64(horizon)
+	var usefulW, ckptW, reworkW, migrW, restartW, stallW float64
+	var waits []float64
+	for _, j := range s.Jobs {
+		w := float64(j.Width())
+		usefulW += w * float64(j.UsefulNS)
+		ckptW += w * float64(j.CkptNS)
+		reworkW += w * float64(j.ReworkNS)
+		migrW += w * float64(j.MigrNS)
+		restartW += w * float64(j.RestartNS)
+		stallW += (w - 1) * float64(j.StallNS) // the missing node is counted down, not stalled
+		switch j.State {
+		case JobDone:
+			r.JobsCompleted++
+		case JobRejected:
+			r.JobsRejected++
+		default:
+			r.JobsCut++
+		}
+		if j.StartT >= 0 {
+			waits = append(waits, float64(j.StartT-j.SubmitT)/hourNS)
+		}
+	}
+	r.GoodputPct = 100 * usefulW / capacity
+	r.NodeHoursLost = (capacity - usefulW) / hourNS
+	r.CkptNH = ckptW / hourNS
+	r.ReworkNH = reworkW / hourNS
+	r.MigrNH = migrW / hourNS
+	r.RestartNH = restartW / hourNS
+	r.StallNH = stallW / hourNS
+	r.IdleNH = float64(s.FreeNS) / hourNS
+	r.SpareNH = float64(s.StateNS[StateSpare]) / hourNS
+	r.DownNH = float64(s.StateNS[StateFailed]+s.StateNS[StateRepaired]+
+		s.StateNS[StateCordoned]+s.StateNS[StateDraining]) / hourNS
+	r.Interrupts = s.Interrupts
+	if s.Interrupts > 0 {
+		r.MTTIHours = float64(s.BusyNS) / hourNS / float64(s.Interrupts)
+	}
+	if len(s.mttr) > 0 {
+		var sum float64
+		for _, d := range s.mttr {
+			sum += d.Hours()
+		}
+		r.MTTRHours = sum / float64(len(s.mttr))
+	}
+	if len(waits) > 0 {
+		sort.Float64s(waits)
+		var sum float64
+		for _, w := range waits {
+			sum += w
+		}
+		r.WaitMeanH = sum / float64(len(waits))
+		r.WaitP95H = waits[(len(waits)*95)/100]
+	}
+	r.Fingerprint = s.fingerprint()
+	return r
+}
+
+// fingerprint is a 64-bit FNV-1a over every placement, the transition
+// matrix, and each job's integer accounting — any reordering of scheduler
+// decisions or drift in the economics changes it.
+func (s *System) fingerprint() string {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, ev := range s.Placements {
+		mix(uint64(ev.T))
+		mix(uint64(ev.Job))
+		mix(uint64(ev.Node))
+		if ev.Acquire {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(ev.State))
+	}
+	for from := range s.Transitions {
+		for to := range s.Transitions[from] {
+			mix(s.Transitions[from][to])
+		}
+	}
+	for _, j := range s.Jobs {
+		mix(uint64(j.ID))
+		mix(uint64(j.State))
+		mix(uint64(j.Done))
+		mix(uint64(j.UsefulNS))
+		mix(uint64(j.CkptNS))
+		mix(uint64(j.ReworkNS))
+		mix(uint64(j.MigrNS))
+		mix(uint64(j.RestartNS))
+		mix(uint64(j.StallNS))
+		mix(uint64(int64(j.StartT)))
+		mix(uint64(int64(j.EndT)))
+	}
+	mix(uint64(s.Interrupts))
+	mix(uint64(len(s.Drains)))
+	return fmt.Sprintf("%016x", h)
+}
